@@ -1,0 +1,54 @@
+// Ablation A2 — scaling of the Myrinet model's maximal-independent-set
+// enumeration (Bron–Kerbosch with pivoting) with conflict-graph size and
+// density. google-benchmark microbenchmark.
+#include <benchmark/benchmark.h>
+
+#include "models/mis.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bwshare;
+
+models::AdjacencyMatrix random_graph(int n, double density, uint64_t seed) {
+  models::AdjacencyMatrix g(n);
+  Rng rng(seed);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      if (rng.uniform() < density) g.add_edge(a, b);
+  return g;
+}
+
+void BM_MisEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  const auto g = random_graph(n, density, 1234);
+  size_t sets = 0;
+  for (auto _ : state) {
+    const auto result = models::enumerate_maximal_independent_sets(g);
+    sets = result.sets.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["sets"] = static_cast<double>(sets);
+}
+
+// Sparse (HPL-window-like) and denser (fig-2-like) conflict graphs.
+BENCHMARK(BM_MisEnumeration)
+    ->ArgsProduct({{6, 12, 18, 24}, {20, 50, 80}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MisFanClique(benchmark::State& state) {
+  // Worst common case in practice: a k-fan is a k-clique.
+  const int n = static_cast<int>(state.range(0));
+  models::AdjacencyMatrix g(n);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) g.add_edge(a, b);
+  for (auto _ : state) {
+    const auto result = models::enumerate_maximal_independent_sets(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_MisFanClique)->DenseRange(2, 16, 2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

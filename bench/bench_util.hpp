@@ -1,0 +1,23 @@
+// Shared helpers for the bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace bwshare::bench {
+
+/// Print the table; also write `<name>.csv` next to the binary when --csv.
+inline void emit(const CliArgs& args, const std::string& name,
+                 const TextTable& table) {
+  std::cout << table.render() << "\n";
+  if (args.get_bool("csv", false)) {
+    const std::string path = name + ".csv";
+    table.write_csv(path);
+    std::cout << "  [csv written to " << path << "]\n";
+  }
+}
+
+}  // namespace bwshare::bench

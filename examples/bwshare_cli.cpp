@@ -1,0 +1,117 @@
+// bwshare_cli — command-line front end to the paper's simulator.
+//
+//   bwshare_cli scheme data/fig2_s4.scheme [--network gige] [--model gige]
+//       Run a communication scheme through the §IV-B measurement software:
+//       substrate penalties vs model penalties, E_rel/E_abs.
+//
+//   bwshare_cli trace my.trace [--network myrinet] [--schedule RRP]
+//               [--nodes 16] [--cores 2]
+//       Replay an application trace (sim/trace_io format) under a
+//       scheduling policy; prints the per-task and summary reports for the
+//       substrate and the interconnect's model.
+#include <iostream>
+
+#include "eval/experiment.hpp"
+#include "flowsim/fluid_network.hpp"
+#include "graph/scheme_parser.hpp"
+#include "models/registry.hpp"
+#include "sim/rate_model.hpp"
+#include "sim/report.hpp"
+#include "sim/trace_io.hpp"
+#include "topo/cluster.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bwshare;
+
+int usage(const char* prog) {
+  std::cerr << "usage: " << prog << " scheme <file.scheme> [options]\n"
+            << "       " << prog << " trace <file.trace> [options]\n"
+            << "options: --network gige|myrinet|ib   interconnect (default gige)\n"
+            << "         --model <name>              penalty model (default: the network's)\n"
+            << "         --schedule RRN|RRP|Random   trace placement (default RRN)\n"
+            << "         --nodes N --cores C         cluster shape (default 16x2)\n";
+  return 2;
+}
+
+int run_scheme(const CliArgs& args, const std::string& path) {
+  const auto parsed = graph::parse_scheme_file(path);
+  const auto tech = topo::network_tech_from_string(args.get("network", "gige"));
+  const int nodes = static_cast<int>(
+      args.get_int("nodes", std::max(16, parsed.declared_nodes)));
+  const auto cluster = topo::ClusterSpec::uniform(
+      "cli", nodes, static_cast<int>(args.get_int("cores", 2)),
+      topo::calibration_for(tech));
+
+  const std::string model_name = args.get("model", "");
+  const auto model = model_name.empty() ? models::model_for(tech)
+                                        : models::make_model(model_name);
+
+  const auto cmp = eval::compare_scheme(parsed.graph, cluster, *model);
+  std::cout << "scheme \"" << parsed.name << "\" on " << to_string(tech)
+            << " with model '" << model->name() << "':\n\n";
+  TextTable table({"comm", "arc", "T_m [s]", "T_p [s]", "E_rel [%]"});
+  for (graph::CommId i = 0; i < parsed.graph.size(); ++i) {
+    const auto& c = parsed.graph.comm(i);
+    table.add_row({c.label, strformat("%d->%d", c.src, c.dst),
+                   strformat("%.4f", cmp.measured[static_cast<size_t>(i)]),
+                   strformat("%.4f", cmp.predicted[static_cast<size_t>(i)]),
+                   strformat("%+.1f", cmp.erel[static_cast<size_t>(i)])});
+  }
+  std::cout << table.render()
+            << strformat("\nE_abs over the scheme: %.1f %%\n", cmp.eabs);
+  return 0;
+}
+
+int run_trace(const CliArgs& args, const std::string& path) {
+  const auto trace = sim::read_trace_file(path);
+  trace.validate();
+  const auto tech = topo::network_tech_from_string(args.get("network", "gige"));
+  const auto cluster = topo::ClusterSpec::uniform(
+      "cli", static_cast<int>(args.get_int("nodes", 16)),
+      static_cast<int>(args.get_int("cores", 2)), topo::calibration_for(tech));
+  const auto policy =
+      sim::scheduling_policy_from_string(args.get("schedule", "RRN"));
+  const auto placement =
+      sim::make_placement(policy, cluster, trace.num_tasks());
+
+  std::cout << "trace " << path << ": " << trace.num_tasks() << " tasks, "
+            << trace.total_events() << " events, "
+            << human_bytes(trace.total_bytes_sent()) << " sent; "
+            << to_string(policy) << " on " << cluster.num_nodes() << "x"
+            << cluster.node(0).cores << " " << to_string(tech) << "\n";
+
+  const flowsim::FluidRateProvider fluid(cluster.network());
+  const auto measured = sim::run_simulation(trace, cluster, placement, fluid);
+  std::cout << "\nsubstrate (\"measured\"): " << sim::render_summary(measured)
+            << "\n" << sim::render_task_table(measured);
+
+  std::shared_ptr<const models::PenaltyModel> model = models::model_for(tech);
+  const sim::ModelRateProvider provider(model, cluster.network());
+  const auto predicted =
+      sim::run_simulation(trace, cluster, placement, provider);
+  std::cout << "\nmodel '" << model->name()
+            << "' (\"predicted\"): " << sim::render_summary(predicted) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().size() < 2) return usage(argv[0]);
+  try {
+    if (args.positional()[0] == "scheme")
+      return run_scheme(args, args.positional()[1]);
+    if (args.positional()[0] == "trace")
+      return run_trace(args, args.positional()[1]);
+    return usage(argv[0]);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,52 @@
+// Quickstart: define a communication scheme, ask both paper models for
+// penalties, and cross-check against the simulated substrate.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "flowsim/fluid_network.hpp"
+#include "graph/comm_graph.hpp"
+#include "models/gige.hpp"
+#include "models/myrinet.hpp"
+#include "topo/network.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bwshare;
+
+  // Three tasks on node 0 each stream 20 MB to a different node, while
+  // node 4 sends into node 1 — fig-2 scheme S4.
+  graph::CommGraph scheme;
+  scheme.add("a", 0, 1, 20e6);
+  scheme.add("b", 0, 2, 20e6);
+  scheme.add("c", 0, 3, 20e6);
+  scheme.add("d", 4, 1, 20e6);
+
+  const models::GigabitEthernetModel gige;   // beta/gamma from the paper
+  const models::MyrinetModel myrinet;        // send/wait state model
+
+  const auto p_gige = gige.penalties(scheme);
+  const auto p_myri = myrinet.penalties(scheme);
+
+  // "Measured" on the simulated interconnects (saturated regime).
+  const auto m_gige = flowsim::saturated_penalties(
+      scheme, topo::gigabit_ethernet_calibration());
+  const auto m_myri =
+      flowsim::saturated_penalties(scheme, topo::myrinet2000_calibration());
+
+  TextTable table({"comm", "GigE model", "GigE sim", "Myrinet model",
+                   "Myrinet sim"});
+  for (graph::CommId i = 0; i < scheme.size(); ++i) {
+    const auto k = static_cast<size_t>(i);
+    table.add_row({scheme.comm(i).label, strformat("%.2f", p_gige[k]),
+                   strformat("%.2f", m_gige[k]), strformat("%.2f", p_myri[k]),
+                   strformat("%.2f", m_myri[k])});
+  }
+  std::cout << "Bandwidth-sharing penalties (T_conflicted / T_alone):\n\n"
+            << table.render() << "\n"
+            << "Reading: on GigE three concurrent sends cost ~2.25x each "
+               "(beta = 0.75);\nMyrinet serializes them (~3x). The income "
+               "conflict d pays less on both.\n";
+  return 0;
+}

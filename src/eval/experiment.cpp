@@ -1,0 +1,69 @@
+#include "eval/experiment.hpp"
+
+#include "eval/metrics.hpp"
+#include "flowsim/fluid_network.hpp"
+#include "mpi/measurement.hpp"
+#include "sim/rate_model.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::eval {
+
+SchemeComparison compare_scheme(const graph::CommGraph& scheme,
+                                const topo::ClusterSpec& cluster,
+                                const models::PenaltyModel& model) {
+  SchemeComparison out;
+
+  const flowsim::FluidRateProvider measured_provider(cluster.network());
+  out.measured = mpi::measure_times(scheme, cluster, measured_provider);
+
+  // Wrap the model in a non-owning shared_ptr: the provider only lives for
+  // this call.
+  const std::shared_ptr<const models::PenaltyModel> alias(
+      std::shared_ptr<const models::PenaltyModel>{}, &model);
+  const sim::ModelRateProvider predicted_provider(alias, cluster.network());
+  out.predicted = mpi::measure_times(scheme, cluster, predicted_provider);
+
+  out.erel = relative_errors(out.predicted, out.measured);
+  out.eabs = mean_absolute_error(out.predicted, out.measured);
+  return out;
+}
+
+ApplicationComparison compare_application(const sim::AppTrace& trace,
+                                          const topo::ClusterSpec& cluster,
+                                          sim::SchedulingPolicy policy,
+                                          const models::PenaltyModel& model,
+                                          uint64_t seed) {
+  ApplicationComparison out;
+  out.placement =
+      sim::make_placement(policy, cluster, trace.num_tasks(), seed);
+
+  const flowsim::FluidRateProvider measured_provider(cluster.network());
+  const auto measured =
+      sim::run_simulation(trace, cluster, out.placement, measured_provider);
+
+  const std::shared_ptr<const models::PenaltyModel> alias(
+      std::shared_ptr<const models::PenaltyModel>{}, &model);
+  const sim::ModelRateProvider predicted_provider(alias, cluster.network());
+  const auto predicted =
+      sim::run_simulation(trace, cluster, out.placement, predicted_provider);
+
+  out.measured_makespan = measured.makespan;
+  out.predicted_makespan = predicted.makespan;
+
+  out.tasks.resize(static_cast<size_t>(trace.num_tasks()));
+  stats::Accumulator acc;
+  for (sim::TaskId t = 0; t < trace.num_tasks(); ++t) {
+    auto& tc = out.tasks[static_cast<size_t>(t)];
+    tc.sum_measured = measured.task_comm_time(t);
+    tc.sum_predicted = predicted.task_comm_time(t);
+    if (tc.sum_measured > 0.0) {
+      tc.eabs = task_absolute_error(tc.sum_predicted, tc.sum_measured);
+      acc.add(tc.eabs);
+    }
+  }
+  out.mean_eabs = acc.mean();
+  return out;
+}
+
+}  // namespace bwshare::eval

@@ -1,0 +1,57 @@
+// Experiment harness: the measured-vs-predicted comparisons every bench
+// binary runs.
+//
+//   * compare_scheme — static communication graph (paper fig 4 / fig 7):
+//     T_m from the fluid substrate, T_p from a penalty model, E_rel/E_abs.
+//   * compare_application — application trace (paper fig 8/9, HPL): per-task
+//     communication-time sums S_m/S_p and E_abs(t_i) under a scheduling
+//     policy.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "models/penalty_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/schedule.hpp"
+#include "topo/cluster.hpp"
+
+namespace bwshare::eval {
+
+struct SchemeComparison {
+  std::vector<double> measured;   // T_m per comm, seconds
+  std::vector<double> predicted;  // T_p per comm, seconds
+  std::vector<double> erel;       // percent
+  double eabs = 0.0;              // percent
+};
+
+/// Compare `model` against the fluid substrate on a static scheme.
+/// Both sides run through the same §IV-B measurement software.
+[[nodiscard]] SchemeComparison compare_scheme(
+    const graph::CommGraph& scheme, const topo::ClusterSpec& cluster,
+    const models::PenaltyModel& model);
+
+struct TaskComparison {
+  double sum_measured = 0.0;   // S_m
+  double sum_predicted = 0.0;  // S_p
+  double eabs = 0.0;           // percent
+};
+
+struct ApplicationComparison {
+  std::vector<TaskComparison> tasks;
+  double mean_eabs = 0.0;
+  double measured_makespan = 0.0;
+  double predicted_makespan = 0.0;
+  sim::Placement placement;
+};
+
+/// Replay `trace` twice — fluid substrate ("measured") and `model`
+/// ("predicted") — under the given scheduling policy.
+[[nodiscard]] ApplicationComparison compare_application(
+    const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
+    sim::SchedulingPolicy policy, const models::PenaltyModel& model,
+    uint64_t seed = 42);
+
+}  // namespace bwshare::eval

@@ -1,0 +1,37 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bwshare::eval {
+
+double relative_error(double predicted, double measured) {
+  BWS_CHECK(measured > 0.0, "measured time must be positive");
+  return (predicted - measured) / measured * 100.0;
+}
+
+std::vector<double> relative_errors(std::span<const double> predicted,
+                                    std::span<const double> measured) {
+  BWS_CHECK(predicted.size() == measured.size(),
+            "prediction/measurement size mismatch");
+  std::vector<double> out(predicted.size());
+  for (size_t i = 0; i < predicted.size(); ++i)
+    out[i] = relative_error(predicted[i], measured[i]);
+  return out;
+}
+
+double mean_absolute_error(std::span<const double> predicted,
+                           std::span<const double> measured) {
+  const auto errors = relative_errors(predicted, measured);
+  BWS_CHECK(!errors.empty(), "cannot average over an empty graph");
+  double total = 0.0;
+  for (double e : errors) total += std::fabs(e);
+  return total / static_cast<double>(errors.size());
+}
+
+double task_absolute_error(double sum_predicted, double sum_measured) {
+  return std::fabs(relative_error(sum_predicted, sum_measured));
+}
+
+}  // namespace bwshare::eval

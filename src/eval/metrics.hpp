@@ -1,0 +1,28 @@
+// Evaluation metrics (paper §VI-B):
+//   E_rel(c_k)  = (T_p - T_m) / T_m * 100          per communication
+//   E_abs(G)    = mean of |E_rel| over the graph   per graph
+//   E_abs(t_i)  = |(S_p - S_m) / S_m| * 100        per application task,
+//                 where S are the sums of that task's communication times.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bwshare::eval {
+
+/// Relative error in percent; positive = pessimistic prediction.
+[[nodiscard]] double relative_error(double predicted, double measured);
+
+/// E_rel per communication.
+[[nodiscard]] std::vector<double> relative_errors(
+    std::span<const double> predicted, std::span<const double> measured);
+
+/// E_abs: mean absolute relative error, percent.
+[[nodiscard]] double mean_absolute_error(std::span<const double> predicted,
+                                         std::span<const double> measured);
+
+/// E_abs for one task from its communication-time sums.
+[[nodiscard]] double task_absolute_error(double sum_predicted,
+                                         double sum_measured);
+
+}  // namespace bwshare::eval

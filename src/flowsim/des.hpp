@@ -1,0 +1,53 @@
+// Discrete-event simulation core used by the packet-level network
+// simulators: a time-ordered event queue with stable FIFO ordering for
+// simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace bwshare::flowsim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time, seconds.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedule `handler` at absolute time `when` (>= now).
+  void schedule_at(double when, Handler handler);
+  /// Schedule `handler` `delay` seconds from now.
+  void schedule_in(double delay, Handler handler);
+
+  /// Run until the queue drains or `max_time` is reached.
+  /// Returns the number of events processed.
+  size_t run(double max_time = 1e18);
+
+  /// Drop all pending events.
+  void clear();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double when;
+    uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace bwshare::flowsim

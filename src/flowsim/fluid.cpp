@@ -1,0 +1,126 @@
+#include "flowsim/fluid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::flowsim {
+
+std::vector<double> max_min_rates(const AllocationProblem& problem) {
+  const int n = problem.num_flows;
+  BWS_CHECK(n >= 0, "num_flows must be non-negative");
+  BWS_CHECK(problem.weights.empty() ||
+                problem.weights.size() == static_cast<size_t>(n),
+            "weights must be empty or one per flow");
+  BWS_CHECK(problem.caps.empty() ||
+                problem.caps.size() == static_cast<size_t>(n),
+            "caps must be empty or one per flow");
+
+  std::vector<double> weights(static_cast<size_t>(n), 1.0);
+  if (!problem.weights.empty()) weights = problem.weights;
+  for (double w : weights) BWS_CHECK(w > 0.0, "flow weights must be positive");
+
+  for (const auto& r : problem.resources) {
+    BWS_CHECK(r.capacity >= 0.0, "resource capacity must be non-negative");
+    for (FlowIndex f : r.members)
+      BWS_CHECK(f >= 0 && f < n,
+                strformat("resource member %d out of range [0,%d)", f, n));
+  }
+
+  std::vector<double> rates(static_cast<size_t>(n), 0.0);
+  std::vector<bool> frozen(static_cast<size_t>(n), false);
+  std::vector<bool> saturated(problem.resources.size(), false);
+  if (n == 0) return rates;
+
+  // Progressive filling: unfrozen flow f has rate w_f * t. In each round,
+  // find the constraint that saturates at the smallest t.
+  double t = 0.0;
+  int remaining = n;
+  while (remaining > 0) {
+    double best_t = std::numeric_limits<double>::infinity();
+    // Per-flow caps: flow f saturates its own cap at t = cap_f / w_f.
+    if (!problem.caps.empty()) {
+      for (FlowIndex f = 0; f < n; ++f) {
+        if (frozen[static_cast<size_t>(f)]) continue;
+        const double cap = problem.caps[static_cast<size_t>(f)];
+        if (cap > 0.0)
+          best_t = std::min(best_t, cap / weights[static_cast<size_t>(f)]);
+      }
+    }
+    for (size_t ri = 0; ri < problem.resources.size(); ++ri) {
+      if (saturated[ri]) continue;
+      const auto& r = problem.resources[ri];
+      double frozen_load = 0.0;
+      double active_weight = 0.0;
+      for (FlowIndex f : r.members) {
+        if (frozen[static_cast<size_t>(f)])
+          frozen_load += rates[static_cast<size_t>(f)];
+        else
+          active_weight += weights[static_cast<size_t>(f)];
+      }
+      if (active_weight <= 0.0) continue;  // nothing left to constrain
+      const double t_c = (r.capacity - frozen_load) / active_weight;
+      best_t = std::min(best_t, std::max(t_c, t));
+    }
+    BWS_CHECK(best_t < std::numeric_limits<double>::infinity(),
+              "unconstrained flow: every flow needs a cap or a resource");
+    t = best_t;
+
+    // Freeze every flow pinned by a constraint that is tight at t.
+    bool froze_any = false;
+    if (!problem.caps.empty()) {
+      for (FlowIndex f = 0; f < n; ++f) {
+        if (frozen[static_cast<size_t>(f)]) continue;
+        const double cap = problem.caps[static_cast<size_t>(f)];
+        if (cap > 0.0 &&
+            weights[static_cast<size_t>(f)] * t >= cap * (1.0 - 1e-12)) {
+          rates[static_cast<size_t>(f)] = cap;
+          frozen[static_cast<size_t>(f)] = true;
+          --remaining;
+          froze_any = true;
+        }
+      }
+    }
+    for (size_t ri = 0; ri < problem.resources.size(); ++ri) {
+      if (saturated[ri]) continue;
+      const auto& r = problem.resources[ri];
+      double frozen_load = 0.0;
+      double active_weight = 0.0;
+      for (FlowIndex f : r.members) {
+        if (frozen[static_cast<size_t>(f)])
+          frozen_load += rates[static_cast<size_t>(f)];
+        else
+          active_weight += weights[static_cast<size_t>(f)];
+      }
+      if (active_weight <= 0.0) {
+        saturated[ri] = true;
+        continue;
+      }
+      if (frozen_load + active_weight * t >= r.capacity * (1.0 - 1e-12)) {
+        for (FlowIndex f : r.members) {
+          if (frozen[static_cast<size_t>(f)]) continue;
+          rates[static_cast<size_t>(f)] = weights[static_cast<size_t>(f)] * t;
+          frozen[static_cast<size_t>(f)] = true;
+          --remaining;
+          froze_any = true;
+        }
+        saturated[ri] = true;
+      }
+    }
+    // Numerical safety: if nothing froze (degenerate capacities), freeze the
+    // flows at the current rate to guarantee termination.
+    if (!froze_any) {
+      for (FlowIndex f = 0; f < n; ++f) {
+        if (frozen[static_cast<size_t>(f)]) continue;
+        rates[static_cast<size_t>(f)] = weights[static_cast<size_t>(f)] * t;
+        frozen[static_cast<size_t>(f)] = true;
+        --remaining;
+      }
+    }
+  }
+  return rates;
+}
+
+}  // namespace bwshare::flowsim

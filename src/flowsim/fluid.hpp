@@ -1,0 +1,44 @@
+// Weighted max-min fair fluid allocation (progressive filling).
+//
+// The "measured" substrate models a transfer as a fluid flow crossing a set
+// of capacity constraints:
+//   * its own per-stream cap (single-stream efficiency x link rate),
+//   * every directed link on its route,
+//   * the host duplex bus at its two endpoints (TX+RX share one IO path).
+// Rates are the weighted max-min fair allocation: all flows grow their rate
+// proportionally to their weight until a constraint saturates; saturated
+// flows freeze and the rest keep growing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bwshare::flowsim {
+
+using FlowIndex = int;
+using ResourceIndex = int;
+
+/// One capacity constraint over a set of member flows.
+struct Resource {
+  double capacity = 0.0;
+  std::vector<FlowIndex> members;
+};
+
+/// Allocation problem: `num_flows` flows with weights, a per-flow rate cap
+/// (<= 0 means uncapped) and shared resources.
+struct AllocationProblem {
+  int num_flows = 0;
+  std::vector<double> weights;  // growth weight per flow (default 1)
+  std::vector<double> caps;     // per-flow rate cap, <= 0 for none
+  std::vector<Resource> resources;
+};
+
+/// Weighted max-min fair rates, bytes/s per flow.
+/// Throws bwshare::Error on malformed problems (negative capacity, members
+/// out of range). Flows not covered by any finite constraint get rate
+/// infinity replaced by their cap; it is an error if such a flow is also
+/// uncapped.
+[[nodiscard]] std::vector<double> max_min_rates(
+    const AllocationProblem& problem);
+
+}  // namespace bwshare::flowsim

@@ -1,0 +1,89 @@
+// The fluid "measured" substrate: maps a communication graph onto a
+// weighted max-min allocation problem shaped by the interconnect calibration
+// (per-stream efficiency, duplex bus, RX weighting) and integrates flow
+// completion over time.
+//
+// This plays the role of the paper's physical clusters: every experiment's
+// "measured" times T_m come from here (or from the packet-level simulators
+// in flowsim/packet.hpp, which agree with the fluid model within a few
+// percent — see bench/abl_fluid_vs_packet).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flowsim/fluid.hpp"
+#include "graph/comm_graph.hpp"
+#include "topo/fattree.hpp"
+#include "topo/network.hpp"
+
+namespace bwshare::flowsim {
+
+/// Instantaneous rate oracle: given the set of concurrently active
+/// communications (as a CommGraph over cluster nodes), return each one's
+/// transfer rate in bytes/s. Implementations: FluidRateProvider (substrate
+/// ground truth) and sim::ModelRateProvider (the paper's predictive models).
+class RateProvider {
+ public:
+  virtual ~RateProvider() = default;
+  [[nodiscard]] virtual std::vector<double> rates(
+      const graph::CommGraph& active) const = 0;
+};
+
+/// Max-min fluid rates under a network calibration, optionally constrained
+/// by a fat-tree topology's inner links.
+class FluidRateProvider final : public RateProvider {
+ public:
+  explicit FluidRateProvider(topo::NetworkCalibration cal,
+                             std::optional<topo::FatTree> topology = {});
+
+  [[nodiscard]] std::vector<double> rates(
+      const graph::CommGraph& active) const override;
+
+  [[nodiscard]] const topo::NetworkCalibration& calibration() const {
+    return cal_;
+  }
+
+  /// Expose the constructed allocation problem (tests/ablation).
+  [[nodiscard]] AllocationProblem build_problem(
+      const graph::CommGraph& active) const;
+
+ private:
+  topo::NetworkCalibration cal_;
+  std::optional<topo::FatTree> topology_;
+};
+
+/// One communication's simulated timing.
+struct CommTiming {
+  double start = 0.0;
+  double finish = 0.0;
+  [[nodiscard]] double duration() const { return finish - start; }
+};
+
+/// Run all communications of `graph` starting at t=0 under `provider`,
+/// integrating piecewise-constant rates until each completes. Returns
+/// per-comm completion times (graph order), including one-way latency.
+[[nodiscard]] std::vector<double> measure_scheme(const graph::CommGraph& graph,
+                                                 const RateProvider& provider,
+                                                 double latency);
+
+/// Convenience: fluid measurement under a calibration (the experiments'
+/// standard T_m source).
+[[nodiscard]] std::vector<double> measure_scheme_fluid(
+    const graph::CommGraph& graph, const topo::NetworkCalibration& cal);
+
+/// Per-communication penalties relative to the unconflicted reference time
+/// at each comm's size (the paper's P_i = T_i / T_ref definition, §IV-B).
+/// Completion-based: comms that outlive their rivals speed up at the end,
+/// which dilutes their penalty.
+[[nodiscard]] std::vector<double> measure_penalties(
+    const graph::CommGraph& graph, const topo::NetworkCalibration& cal);
+
+/// Instantaneous penalties while *all* communications of the scheme are in
+/// flight: p_i = reference_rate / rate_i. This is the regime the paper's
+/// fig-2 numbers describe (every task streams 20 MB simultaneously) and the
+/// quantity the §V models predict.
+[[nodiscard]] std::vector<double> saturated_penalties(
+    const graph::CommGraph& graph, const topo::NetworkCalibration& cal);
+
+}  // namespace bwshare::flowsim

@@ -1,0 +1,72 @@
+// Communication graphs (paper §IV-A, §V).
+//
+// A communication graph G has cluster nodes as vertices and concurrent
+// point-to-point communications as labelled arcs. The models consume the
+// node degrees: Δo(v) = number of communications leaving v (outgoing
+// degree), Δi(v) = number arriving at v (incoming degree).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/cluster.hpp"
+
+namespace bwshare::graph {
+
+using CommId = int;
+
+/// One point-to-point communication: an arc src -> dst carrying `bytes`.
+struct Comm {
+  std::string label;      // "a", "b", ... as in the paper's figures
+  topo::NodeId src = 0;
+  topo::NodeId dst = 0;
+  double bytes = 0.0;
+};
+
+class CommGraph {
+ public:
+  CommGraph() = default;
+
+  /// Add a communication; label must be unique and src != dst for network
+  /// communications (intra-node arcs are allowed but flagged).
+  CommId add(std::string label, topo::NodeId src, topo::NodeId dst,
+             double bytes);
+
+  [[nodiscard]] int size() const { return static_cast<int>(comms_.size()); }
+  [[nodiscard]] bool empty() const { return comms_.empty(); }
+  [[nodiscard]] const Comm& comm(CommId id) const;
+  [[nodiscard]] const std::vector<Comm>& comms() const { return comms_; }
+
+  /// Find a communication by its label.
+  [[nodiscard]] std::optional<CommId> find(const std::string& label) const;
+
+  /// Largest node id referenced plus one.
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+
+  /// Outgoing degree Δo(v): number of communications with source v.
+  [[nodiscard]] int out_degree(topo::NodeId v) const;
+  /// Incoming degree Δi(v): number of communications with destination v.
+  [[nodiscard]] int in_degree(topo::NodeId v) const;
+
+  /// Δo(i) = Δo(src(i)) and Δi(i) = Δi(dst(i)) for a communication.
+  [[nodiscard]] int delta_o(CommId id) const;
+  [[nodiscard]] int delta_i(CommId id) const;
+
+  /// Co(i): ids of communications sharing i's source (including i).
+  [[nodiscard]] std::vector<CommId> same_source(CommId id) const;
+  /// Ci(i): ids of communications sharing i's destination (including i).
+  [[nodiscard]] std::vector<CommId> same_destination(CommId id) const;
+
+  [[nodiscard]] std::vector<CommId> comms_from(topo::NodeId v) const;
+  [[nodiscard]] std::vector<CommId> comms_to(topo::NodeId v) const;
+
+  /// True if the arc stays inside one SMP node (never crosses the network).
+  [[nodiscard]] bool is_intra_node(CommId id) const;
+
+ private:
+  std::vector<Comm> comms_;
+  int num_nodes_ = 0;
+};
+
+}  // namespace bwshare::graph

@@ -1,0 +1,24 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace bwshare::graph {
+
+std::string to_dot(const CommGraph& graph,
+                   const std::map<std::string, std::string>& annotations) {
+  std::ostringstream os;
+  os << "digraph comms {\n";
+  os << "  rankdir=TB;\n  node [shape=circle];\n";
+  for (topo::NodeId v = 0; v < graph.num_nodes(); ++v)
+    os << "  n" << v << " [label=\"" << v << "\"];\n";
+  for (const auto& c : graph.comms()) {
+    os << "  n" << c.src << " -> n" << c.dst << " [label=\"" << c.label;
+    const auto it = annotations.find(c.label);
+    if (it != annotations.end()) os << "\\n" << it->second;
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bwshare::graph

@@ -1,0 +1,19 @@
+// Graphviz export of communication graphs, optionally annotated with
+// per-communication penalties — handy for eyeballing reconstructed paper
+// figures.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "graph/comm_graph.hpp"
+
+namespace bwshare::graph {
+
+/// Render as a Graphviz digraph. `annotations` maps comm label -> extra edge
+/// label text (e.g. "p=2.25").
+[[nodiscard]] std::string to_dot(
+    const CommGraph& graph,
+    const std::map<std::string, std::string>& annotations = {});
+
+}  // namespace bwshare::graph

@@ -1,0 +1,117 @@
+#include "graph/scheme_lexer.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::graph {
+
+std::string to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kBackArrow: return "'<-'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kNewline: return "newline";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+bool is_number_char(char c) {
+  // Keep suffixes attached: "20M", "4MiB", "1.5e6".
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+         c == '+' || c == '-';
+}
+}  // namespace
+
+std::vector<Token> tokenize_scheme(std::string_view src) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text) {
+    tokens.push_back(Token{kind, std::move(text), line});
+  };
+  auto push_newline = [&]() {
+    if (!tokens.empty() && tokens.back().kind != TokenKind::kNewline)
+      push(TokenKind::kNewline, "\\n");
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      push_newline();
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
+      push(TokenKind::kArrow, "->");
+      i += 2;
+      continue;
+    }
+    if (c == '<' && i + 1 < src.size() && src[i + 1] == '-') {
+      push(TokenKind::kBackArrow, "<-");
+      i += 2;
+      continue;
+    }
+    if (c == '{') { push(TokenKind::kLBrace, "{"); ++i; continue; }
+    if (c == '}') { push(TokenKind::kRBrace, "}"); ++i; continue; }
+    if (c == ',') { push(TokenKind::kComma, ","); ++i; continue; }
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < src.size() && src[j] != '"' && src[j] != '\n') ++j;
+      BWS_CHECK(j < src.size() && src[j] == '"',
+                strformat("line %d: unterminated string", line));
+      push(TokenKind::kString, std::string(src.substr(i + 1, j - i - 1)));
+      i = j + 1;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < src.size() && is_number_char(src[j])) {
+        // '+'/'-' only valid right after an exponent 'e'/'E'.
+        if ((src[j] == '+' || src[j] == '-') &&
+            !(j > i && (src[j - 1] == 'e' || src[j - 1] == 'E')))
+          break;
+        ++j;
+      }
+      push(TokenKind::kNumber, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      size_t j = i;
+      while (j < src.size() && is_ident_char(src[j])) ++j;
+      push(TokenKind::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    BWS_THROW(strformat("line %d: unexpected character '%c'", line, c));
+  }
+  push_newline();
+  push(TokenKind::kEnd, "");
+  return tokens;
+}
+
+}  // namespace bwshare::graph

@@ -1,0 +1,40 @@
+// Lexer for the communication-scheme description language (the paper's §IV-B
+// mentions "a specific description language" used to feed schemes to their
+// measurement software; this is our equivalent).
+//
+// Token kinds: identifiers, numbers (with optional size suffix), strings,
+// '->', '<-', punctuation, newlines (significant), comments '#...'.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bwshare::graph {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,    // raw text kept; may carry a size suffix ("20M", "4MiB")
+  kString,    // double-quoted
+  kArrow,     // ->
+  kBackArrow, // <-
+  kLBrace,
+  kRBrace,
+  kComma,
+  kNewline,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+[[nodiscard]] std::string to_string(TokenKind kind);
+
+/// Tokenize a scheme source. Throws bwshare::Error with line info on bad
+/// characters or unterminated strings. Consecutive newlines are collapsed.
+[[nodiscard]] std::vector<Token> tokenize_scheme(std::string_view source);
+
+}  // namespace bwshare::graph

@@ -1,0 +1,154 @@
+#include "graph/scheme_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/scheme_lexer.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace bwshare::graph {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParsedScheme parse() {
+    ParsedScheme out;
+    double default_size = 20 * MB;  // the paper's referential message size
+    bool seen_name = false;
+
+    skip_newlines();
+    while (!at(TokenKind::kEnd)) {
+      const Token& head = expect(TokenKind::kIdent, "statement keyword");
+      if (head.text == "scheme") {
+        BWS_CHECK(!seen_name, where() + "duplicate 'scheme' directive");
+        out.name = expect(TokenKind::kString, "scheme name").text;
+        seen_name = true;
+      } else if (head.text == "nodes") {
+        out.declared_nodes = parse_int("node count");
+        BWS_CHECK(out.declared_nodes > 0,
+                  where() + "'nodes' must be positive");
+      } else if (head.text == "size") {
+        default_size = parse_size_token();
+      } else if (head.text == "comm") {
+        parse_comm(out, default_size);
+      } else {
+        BWS_THROW(where() + "unknown statement '" + head.text + "'");
+      }
+      end_statement();
+    }
+
+    if (out.declared_nodes == 0) out.declared_nodes = out.graph.num_nodes();
+    BWS_CHECK(out.graph.num_nodes() <= out.declared_nodes,
+              strformat("scheme references node %d but declares only %d nodes",
+                        out.graph.num_nodes() - 1, out.declared_nodes));
+    return out;
+  }
+
+ private:
+  void parse_comm(ParsedScheme& out, double default_size) {
+    const std::string label = expect(TokenKind::kIdent, "comm label").text;
+    const int first = parse_int("source node");
+    int src = first;
+    int dst = 0;
+    if (at(TokenKind::kArrow)) {
+      advance();
+      dst = parse_int("destination node");
+    } else if (at(TokenKind::kBackArrow)) {
+      advance();
+      // "a 3 <- 0" means node 0 sends to node 3.
+      dst = first;
+      src = parse_int("source node");
+    } else {
+      BWS_THROW(where() + "expected '->' or '<-' after node id");
+    }
+    double size = default_size;
+    if (at(TokenKind::kIdent) && peek().text == "size") {
+      advance();
+      size = parse_size_token();
+    }
+    out.graph.add(label, src, dst, size);
+  }
+
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  const Token& expect(TokenKind kind, const std::string& what) {
+    BWS_CHECK(at(kind), where() + "expected " + what + " (" +
+                            to_string(kind) + "), got " +
+                            to_string(peek().kind) + " '" + peek().text + "'");
+    const Token& token = peek();
+    advance();
+    return token;
+  }
+
+  int parse_int(const std::string& what) {
+    const Token& token = expect(TokenKind::kNumber, what);
+    char* end = nullptr;
+    const long v = std::strtol(token.text.c_str(), &end, 10);
+    BWS_CHECK(end && *end == '\0',
+              where() + what + " must be an integer, got '" + token.text + "'");
+    BWS_CHECK(v >= 0, where() + what + " must be non-negative");
+    return static_cast<int>(v);
+  }
+
+  double parse_size_token() {
+    const Token& token = expect(TokenKind::kNumber, "size literal");
+    return parse_size(token.text);
+  }
+
+  void end_statement() {
+    if (at(TokenKind::kEnd)) return;
+    expect(TokenKind::kNewline, "end of statement");
+    skip_newlines();
+  }
+
+  void skip_newlines() {
+    while (at(TokenKind::kNewline)) advance();
+  }
+
+  [[nodiscard]] std::string where() const {
+    return strformat("line %d: ", peek().line);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParsedScheme parse_scheme(std::string_view source) {
+  return Parser(tokenize_scheme(source)).parse();
+}
+
+ParsedScheme parse_scheme_file(const std::string& path) {
+  std::ifstream in(path);
+  BWS_CHECK(in.good(), "cannot open scheme file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_scheme(buf.str());
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+std::string to_scheme_text(const CommGraph& graph, const std::string& name) {
+  std::ostringstream os;
+  if (!name.empty()) os << "scheme \"" << name << "\"\n";
+  os << "nodes " << graph.num_nodes() << "\n";
+  for (const auto& c : graph.comms()) {
+    os << "comm " << c.label << " " << c.src << " -> " << c.dst << " size "
+       << strformat("%.0f", c.bytes) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bwshare::graph

@@ -1,0 +1,46 @@
+// Parser for the communication-scheme description language.
+//
+// Grammar (newline-separated statements, '#' comments):
+//
+//   scheme "pretty name"            # optional, once
+//   nodes 8                         # optional; inferred from comms otherwise
+//   size 20M                        # default message size for later comms
+//   comm a 0 -> 1                   # labelled arc, default size
+//   comm b 0 -> 2 size 4MiB         # per-comm size override
+//   comm c 3 <- 0                   # back arrow: equivalent to 0 -> 3
+//
+// Example:
+//   scheme "fig2/S3"
+//   size 20M
+//   comm a 0 -> 1
+//   comm b 0 -> 2
+//   comm c 0 -> 3
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/comm_graph.hpp"
+
+namespace bwshare::graph {
+
+struct ParsedScheme {
+  std::string name;
+  CommGraph graph;
+  /// `nodes N` directive if present, else graph.num_nodes().
+  int declared_nodes = 0;
+};
+
+/// Parse scheme source text. Throws bwshare::Error with line numbers on any
+/// syntax or semantic problem (duplicate labels, node out of declared range).
+[[nodiscard]] ParsedScheme parse_scheme(std::string_view source);
+
+/// Parse a scheme from a file.
+[[nodiscard]] ParsedScheme parse_scheme_file(const std::string& path);
+
+/// Serialize a graph back to scheme-language text (round-trips with
+/// parse_scheme).
+[[nodiscard]] std::string to_scheme_text(const CommGraph& graph,
+                                         const std::string& name = "");
+
+}  // namespace bwshare::graph

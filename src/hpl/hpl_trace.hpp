@@ -1,0 +1,54 @@
+// HPL communication-trace generator (paper §VI-D).
+//
+// The paper runs Linpack "with a communication scheme where each task n send
+// message to the task n + 1 for a problem size of 20500" and extracts the
+// events with an instrumented MPE. We generate the same event structure
+// analytically from the blocked LU algorithm (validated in src/hpl/lu.cpp):
+//
+//   columns are distributed block-cyclically over P tasks; for each panel k:
+//     * the owner factorizes the panel           (compute: panel_flops)
+//     * the panel is broadcast along the ring     (send n -> n+1, §VI-D)
+//     * every task updates its share of the trailing matrix
+//                                                (compute: update share)
+//
+// Message size for panel k = rows_below(k) x NB x 8 bytes, exactly HPL's
+// panel payload.
+#pragma once
+
+#include "sim/events.hpp"
+
+namespace bwshare::hpl {
+
+struct HplParams {
+  /// Problem size (paper: 20500).
+  int n = 20500;
+  /// Block size.
+  int nb = 120;
+  /// Number of MPI tasks.
+  int tasks = 16;
+  /// Per-task sustained compute rate, flop/s (2 GHz Opteron era: ~3.2e9).
+  double flops_per_second = 3.2e9;
+  /// Insert a barrier between iterations (the paper's measurement method
+  /// synchronizes with barriers).
+  bool barrier_per_iteration = false;
+  /// Stop after this many panels (0 = full factorization). Keeps benches
+  /// fast while preserving the communication pattern.
+  int max_panels = 0;
+  /// Depth-1 lookahead (HPL's default): the next panel's owner updates its
+  /// panel columns first, factorizes and *starts broadcasting the next
+  /// panel while the current broadcast is still travelling the ring*. This
+  /// is what makes communications overlap — and therefore conflict — on
+  /// co-located placements.
+  bool lookahead = true;
+};
+
+/// Build the per-task event trace of one HPL factorization.
+[[nodiscard]] sim::AppTrace make_hpl_trace(const HplParams& params);
+
+/// Bytes of one panel broadcast at iteration k (8-byte doubles).
+[[nodiscard]] double panel_bytes(const HplParams& params, int k);
+
+/// Number of panel iterations.
+[[nodiscard]] int num_panels(const HplParams& params);
+
+}  // namespace bwshare::hpl

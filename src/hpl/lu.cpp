@@ -1,0 +1,196 @@
+#include "hpl/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::hpl {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {
+  BWS_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+double& Matrix::at(int r, int c) {
+  BWS_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+            strformat("matrix index (%d,%d) out of %dx%d", r, c, rows_, cols_));
+  return data_[static_cast<size_t>(c) * static_cast<size_t>(rows_) +
+               static_cast<size_t>(r)];
+}
+
+double Matrix::at(int r, int c) const {
+  return const_cast<Matrix*>(this)->at(r, c);
+}
+
+Matrix Matrix::random(int n, uint64_t seed) {
+  Matrix m(n, n);
+  Rng rng(seed);
+  for (int c = 0; c < n; ++c)
+    for (int r = 0; r < n; ++r)
+      m.at(r, c) = rng.uniform(-1.0, 1.0) + (r == c ? 4.0 : 0.0);
+  return m;
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  BWS_CHECK(cols_ == other.rows_, "matrix product shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (int c = 0; c < other.cols_; ++c)
+    for (int k = 0; k < cols_; ++k) {
+      const double v = other.at(k, c);
+      if (v == 0.0) continue;
+      for (int r = 0; r < rows_; ++r) out.at(r, c) += at(r, k) * v;
+    }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  BWS_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+            "matrix diff shape mismatch");
+  double worst = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+LuResult blocked_lu(Matrix a, int block) {
+  const int n = a.rows();
+  BWS_CHECK(a.rows() == a.cols(), "LU needs a square matrix");
+  BWS_CHECK(block >= 1, "block size must be >= 1");
+
+  LuResult result{std::move(a), {}, 0};
+  Matrix& m = result.lu;
+  result.pivots.resize(static_cast<size_t>(n));
+
+  for (int j0 = 0; j0 < n; j0 += block) {
+    const int jb = std::min(block, n - j0);
+    // --- Panel factorization (unblocked LU on columns j0..j0+jb). ---------
+    for (int j = j0; j < j0 + jb; ++j) {
+      int piv = j;
+      double best = std::fabs(m.at(j, j));
+      for (int r = j + 1; r < n; ++r) {
+        if (std::fabs(m.at(r, j)) > best) {
+          best = std::fabs(m.at(r, j));
+          piv = r;
+        }
+      }
+      BWS_CHECK(best > 1e-12, "matrix is numerically singular");
+      result.pivots[static_cast<size_t>(j)] = piv;
+      if (piv != j)
+        for (int c = 0; c < n; ++c) std::swap(m.at(j, c), m.at(piv, c));
+      const double inv = 1.0 / m.at(j, j);
+      for (int r = j + 1; r < n; ++r) {
+        m.at(r, j) *= inv;
+        ++result.flops;
+      }
+      // Update the rest of the panel only (right-looking within the panel).
+      for (int c = j + 1; c < j0 + jb; ++c) {
+        const double u = m.at(j, c);
+        if (u == 0.0) continue;
+        for (int r = j + 1; r < n; ++r) {
+          m.at(r, c) -= m.at(r, j) * u;
+          result.flops += 2;
+        }
+      }
+    }
+    // --- Triangular solve on the U block row: L11^-1 * A12. ---------------
+    for (int c = j0 + jb; c < n; ++c) {
+      for (int k = j0; k < j0 + jb; ++k) {
+        const double u = m.at(k, c);
+        if (u == 0.0) continue;
+        for (int r = k + 1; r < j0 + jb; ++r) {
+          m.at(r, c) -= m.at(r, k) * u;
+          result.flops += 2;
+        }
+      }
+    }
+    // --- Trailing update: A22 -= L21 * U12 (the GEMM). ---------------------
+    for (int c = j0 + jb; c < n; ++c) {
+      for (int k = j0; k < j0 + jb; ++k) {
+        const double u = m.at(k, c);
+        if (u == 0.0) continue;
+        for (int r = j0 + jb; r < n; ++r) {
+          m.at(r, c) -= m.at(r, k) * u;
+          result.flops += 2;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Matrix apply_pivots(const Matrix& a, const std::vector<int>& pivots) {
+  Matrix out = a;
+  for (int j = 0; j < static_cast<int>(pivots.size()); ++j) {
+    const int piv = pivots[static_cast<size_t>(j)];
+    if (piv != j)
+      for (int c = 0; c < out.cols(); ++c)
+        std::swap(out.at(j, c), out.at(piv, c));
+  }
+  return out;
+}
+
+Matrix reconstruct(const LuResult& result) {
+  const int n = result.lu.rows();
+  Matrix l = Matrix::identity(n);
+  Matrix u(n, n);
+  for (int c = 0; c < n; ++c)
+    for (int r = 0; r < n; ++r) {
+      if (r > c)
+        l.at(r, c) = result.lu.at(r, c);
+      else
+        u.at(r, c) = result.lu.at(r, c);
+    }
+  return l.multiply(u);
+}
+
+std::vector<double> lu_solve(const LuResult& result, std::vector<double> b) {
+  const int n = result.lu.rows();
+  BWS_CHECK(static_cast<int>(b.size()) == n, "rhs size mismatch");
+  // Apply pivots.
+  for (int j = 0; j < n; ++j) {
+    const int piv = result.pivots[static_cast<size_t>(j)];
+    if (piv != j) std::swap(b[static_cast<size_t>(j)], b[static_cast<size_t>(piv)]);
+  }
+  // Forward substitution (unit lower).
+  for (int j = 0; j < n; ++j)
+    for (int r = j + 1; r < n; ++r)
+      b[static_cast<size_t>(r)] -= result.lu.at(r, j) * b[static_cast<size_t>(j)];
+  // Backward substitution.
+  for (int j = n - 1; j >= 0; --j) {
+    b[static_cast<size_t>(j)] /= result.lu.at(j, j);
+    for (int r = 0; r < j; ++r)
+      b[static_cast<size_t>(r)] -= result.lu.at(r, j) * b[static_cast<size_t>(j)];
+  }
+  return b;
+}
+
+double panel_flops(double m, double nb) {
+  // Unblocked LU of an m x nb panel: sum over columns j of
+  // (m-j-1) divisions + 2(m-j-1)(nb-j-1) update flops.
+  double total = 0.0;
+  for (int j = 0; j < static_cast<int>(nb); ++j) {
+    const double rows = std::max(0.0, m - j - 1);
+    total += rows + 2.0 * rows * std::max(0.0, nb - j - 1);
+  }
+  return total;
+}
+
+double update_flops(double m, double n, double nb) {
+  // Triangular solve: n columns x ~nb^2/2 multiply-adds each; GEMM:
+  // 2 m n nb.
+  return n * nb * (nb - 1.0) + 2.0 * m * n * nb;
+}
+
+double total_lu_flops(double n) { return 2.0 / 3.0 * n * n * n; }
+
+}  // namespace bwshare::hpl

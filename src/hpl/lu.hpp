@@ -1,0 +1,73 @@
+// Dense blocked LU factorization with partial pivoting.
+//
+// The paper's application benchmark is Linpack/HPL (§VI-D). We cannot run a
+// 2008 cluster's HPL, but the *communication structure* the paper traces is
+// fully determined by the LU algorithm. This module provides a real,
+// tested LU implementation:
+//   * used at small N to validate the factorization and the flop model that
+//     the trace generator (hpl_trace.hpp) relies on;
+//   * the flop counts (panel factorization vs trailing update) are the exact
+//     quantities behind HPL's compute events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bwshare::hpl {
+
+/// Column-major dense matrix.
+class Matrix {
+ public:
+  Matrix(int rows, int cols);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] double& at(int r, int c);
+  [[nodiscard]] double at(int r, int c) const;
+
+  /// Deterministic pseudo-random test matrix (diagonally dominated enough
+  /// to be well conditioned).
+  static Matrix random(int n, uint64_t seed);
+  static Matrix identity(int n);
+
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+struct LuResult {
+  Matrix lu;                 // packed L\U factors
+  std::vector<int> pivots;   // row swaps applied at each step
+  long long flops = 0;       // floating-point operations actually performed
+};
+
+/// Right-looking blocked LU with partial pivoting (HPL's algorithm shape).
+/// Throws bwshare::Error if the matrix is numerically singular.
+[[nodiscard]] LuResult blocked_lu(Matrix a, int block);
+
+/// Reconstruct P*A from packed factors (test helper).
+[[nodiscard]] Matrix reconstruct(const LuResult& result);
+
+/// Apply the recorded pivots to a copy of `a` (test helper).
+[[nodiscard]] Matrix apply_pivots(const Matrix& a,
+                                  const std::vector<int>& pivots);
+
+/// Solve A x = b using the packed factors (validates the factorization).
+[[nodiscard]] std::vector<double> lu_solve(const LuResult& result,
+                                           std::vector<double> b);
+
+/// Analytic flop counts used by the HPL trace generator.
+/// Panel factorization of an m x nb panel.
+[[nodiscard]] double panel_flops(double m, double nb);
+/// Trailing-submatrix update after a panel: (m x nb) * (nb x n) GEMM plus
+/// the triangular solve on the U block row.
+[[nodiscard]] double update_flops(double m, double n, double nb);
+/// Total LU flops (~ 2/3 N^3).
+[[nodiscard]] double total_lu_flops(double n);
+
+}  // namespace bwshare::hpl

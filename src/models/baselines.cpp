@@ -1,0 +1,35 @@
+#include "models/baselines.hpp"
+
+#include <algorithm>
+
+namespace bwshare::models {
+
+std::vector<double> LinearLogGPModel::penalties(
+    const graph::CommGraph& graph) const {
+  return std::vector<double>(static_cast<size_t>(graph.size()), 1.0);
+}
+
+std::vector<double> LinearLogGPModel::predict_times(
+    const graph::CommGraph& graph,
+    const topo::NetworkCalibration& /*cal*/) const {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(graph.size()));
+  for (const auto& c : graph.comms())
+    times.push_back(params_.latency + 2.0 * params_.overhead +
+                    params_.gap_per_byte * std::max(0.0, c.bytes - 1.0));
+  return times;
+}
+
+std::vector<double> KimLeeModel::penalties(
+    const graph::CommGraph& graph) const {
+  std::vector<double> out(static_cast<size_t>(graph.size()), 1.0);
+  for (graph::CommId i = 0; i < graph.size(); ++i) {
+    if (graph.is_intra_node(i)) continue;
+    const int multiplicity =
+        std::max(graph.delta_o(i), graph.delta_i(i));
+    out[static_cast<size_t>(i)] = std::max(1, multiplicity);
+  }
+  return out;
+}
+
+}  // namespace bwshare::models

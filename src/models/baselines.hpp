@@ -1,0 +1,47 @@
+// Baseline communication models the paper compares against conceptually
+// (§II): the LogP/LogGP family, which ignores sharing entirely, and the
+// Kim-Lee Myrinet model [7], which multiplies a piecewise-linear cost by the
+// maximum number of communications in the sharing conflict.
+#pragma once
+
+#include "models/penalty_model.hpp"
+
+namespace bwshare::models {
+
+/// LogGP-style linear model: T = L + 2o + G·(k-1) per message, no sharing.
+/// As a penalty model it always answers 1 — the strawman that motivates the
+/// paper (§II: "these linear models poorly predict communication delays").
+class LinearLogGPModel final : public PenaltyModel {
+ public:
+  struct Params {
+    double latency = 45e-6;       // L
+    double overhead = 2e-6;       // o (per end)
+    double gap_per_byte = 8e-9;   // G
+  };
+
+  LinearLogGPModel() : params_() {}
+  explicit LinearLogGPModel(const Params& params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "loggp"; }
+  [[nodiscard]] std::vector<double> penalties(
+      const graph::CommGraph& graph) const override;
+  [[nodiscard]] std::vector<double> predict_times(
+      const graph::CommGraph& graph,
+      const topo::NetworkCalibration& cal) const override;
+
+ private:
+  Params params_;
+};
+
+/// Kim & Lee [7]: delay = (conflict multiplicity) x linear cost, where the
+/// multiplicity is the maximum number of communications sharing a network
+/// path with this one. On a fat tree the shared resources are the two host
+/// links, so the multiplicity is max(Δo(src), Δi(dst)).
+class KimLeeModel final : public PenaltyModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "kimlee"; }
+  [[nodiscard]] std::vector<double> penalties(
+      const graph::CommGraph& graph) const override;
+};
+
+}  // namespace bwshare::models

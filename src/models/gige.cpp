@@ -1,0 +1,67 @@
+#include "models/gige.hpp"
+
+#include <algorithm>
+
+#include "graph/conflict.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::models {
+
+GigabitEthernetModel::GigabitEthernetModel(GigeParams params)
+    : params_(params) {
+  BWS_CHECK(params_.beta > 0.0, "beta must be positive");
+  BWS_CHECK(params_.gamma_o >= 0.0 && params_.gamma_o < 1.0,
+            "gamma_o must be in [0,1)");
+  BWS_CHECK(params_.gamma_i >= 0.0 && params_.gamma_i < 1.0,
+            "gamma_i must be in [0,1)");
+}
+
+std::string GigabitEthernetModel::name() const { return "gige"; }
+
+GigabitEthernetModel::Breakdown GigabitEthernetModel::breakdown(
+    const graph::CommGraph& graph, graph::CommId id) const {
+  Breakdown b;
+  if (graph.is_intra_node(id)) return b;
+
+  b.delta_o = graph.delta_o(id);
+  b.delta_i = graph.delta_i(id);
+  const auto slow = graph::strongly_slow_sets(graph, id);
+  b.card_cm_o = static_cast<int>(slow.cm_o.size());
+  b.card_cm_i = static_cast<int>(slow.cm_i.size());
+  b.in_cm_o = slow.in_cm_o;
+  b.in_cm_i = slow.in_cm_i;
+
+  const double beta = params_.beta;
+  if (b.delta_o <= 1) {
+    b.p_out = 1.0;
+  } else if (b.in_cm_o) {
+    b.p_out = b.delta_o * beta *
+              (1.0 + params_.gamma_o * (b.delta_o - b.card_cm_o));
+  } else {
+    b.p_out = b.delta_o * beta * (1.0 - params_.gamma_o / b.card_cm_o);
+  }
+
+  if (b.delta_i <= 1) {
+    b.p_in = 1.0;
+  } else if (b.in_cm_i) {
+    b.p_in = b.delta_i * beta *
+             (1.0 + params_.gamma_i * (b.delta_i - b.card_cm_i));
+  } else {
+    b.p_in = b.delta_i * beta * (1.0 - params_.gamma_i / b.card_cm_i);
+  }
+
+  // The paper's penalty is relative to an unconflicted transfer, so it can
+  // never drop below 1 (a conflict cannot speed a communication up).
+  b.penalty = std::max(1.0, std::max(b.p_out, b.p_in));
+  return b;
+}
+
+std::vector<double> GigabitEthernetModel::penalties(
+    const graph::CommGraph& graph) const {
+  std::vector<double> out(static_cast<size_t>(graph.size()), 1.0);
+  for (graph::CommId i = 0; i < graph.size(); ++i)
+    out[static_cast<size_t>(i)] = breakdown(graph, i).penalty;
+  return out;
+}
+
+}  // namespace bwshare::models

@@ -1,0 +1,55 @@
+#include "models/infiniband.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bwshare::models {
+
+InfinibandModel::InfinibandModel(InfinibandParams params) : params_(params) {
+  BWS_CHECK(params_.beta > 0.0, "beta must be positive");
+  BWS_CHECK(params_.rx_weight > 0.0, "rx_weight must be positive");
+  BWS_CHECK(params_.duplex_factor > 0.0, "duplex_factor must be positive");
+}
+
+std::string InfinibandModel::name() const { return "infiniband"; }
+
+std::vector<double> InfinibandModel::penalties(
+    const graph::CommGraph& graph) const {
+  std::vector<double> out(static_cast<size_t>(graph.size()), 1.0);
+  const double beta = params_.beta;
+  const double w = params_.rx_weight;
+  const double df = params_.duplex_factor;
+
+  for (graph::CommId i = 0; i < graph.size(); ++i) {
+    if (graph.is_intra_node(i)) continue;
+    const auto& c = graph.comm(i);
+    const int out_src = graph.out_degree(c.src);
+    const int in_src = graph.in_degree(c.src);
+    const int in_dst = graph.in_degree(c.dst);
+    const int out_dst = graph.out_degree(c.dst);
+
+    // Source side: pure outgoing conflict shares the TX direction fairly;
+    // a duplex conflict shares the weighted host bus.
+    double p_src;
+    if (in_src == 0) {
+      p_src = out_src <= 1 ? 1.0 : beta * out_src;
+    } else {
+      p_src = beta * (out_src + w * in_src) / df;
+    }
+
+    // Destination side, symmetric; this comm is a receive flow there, so its
+    // share of the bus is w times larger.
+    double p_dst;
+    if (out_dst == 0) {
+      p_dst = in_dst <= 1 ? 1.0 : beta * in_dst;
+    } else {
+      p_dst = beta * (w * in_dst + out_dst) / (df * w);
+    }
+
+    out[static_cast<size_t>(i)] = std::max(1.0, std::max(p_src, p_dst));
+  }
+  return out;
+}
+
+}  // namespace bwshare::models

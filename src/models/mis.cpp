@@ -1,0 +1,184 @@
+#include "models/mis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bwshare::models {
+
+AdjacencyMatrix::AdjacencyMatrix(int n)
+    : n_(n), adj_(static_cast<size_t>(n),
+                  std::vector<bool>(static_cast<size_t>(n), false)) {
+  BWS_CHECK(n >= 0, "adjacency matrix size must be non-negative");
+}
+
+void AdjacencyMatrix::add_edge(int a, int b) {
+  BWS_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_, "vertex out of range");
+  BWS_CHECK(a != b, "self loops not allowed");
+  adj_[static_cast<size_t>(a)][static_cast<size_t>(b)] = true;
+  adj_[static_cast<size_t>(b)][static_cast<size_t>(a)] = true;
+}
+
+bool AdjacencyMatrix::adjacent(int a, int b) const {
+  BWS_CHECK(a >= 0 && a < n_ && b >= 0 && b < n_, "vertex out of range");
+  return adj_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+}
+
+namespace {
+
+/// Dynamic bitset over uint64 words, sized for one graph.
+class Bits {
+ public:
+  explicit Bits(int n) : n_(n), words_((static_cast<size_t>(n) + 63) / 64) {}
+
+  void set(int i) { words_[static_cast<size_t>(i) >> 6] |= 1ULL << (i & 63); }
+  void reset(int i) {
+    words_[static_cast<size_t>(i) >> 6] &= ~(1ULL << (i & 63));
+  }
+  [[nodiscard]] bool test(int i) const {
+    return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1ULL;
+  }
+  [[nodiscard]] bool empty() const {
+    for (uint64_t w : words_)
+      if (w) return false;
+    return true;
+  }
+  [[nodiscard]] int count() const {
+    int total = 0;
+    for (uint64_t w : words_) total += __builtin_popcountll(w);
+    return total;
+  }
+  [[nodiscard]] Bits and_with(const Bits& other) const {
+    Bits out(n_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      out.words_[i] = words_[i] & other.words_[i];
+    return out;
+  }
+  [[nodiscard]] Bits and_not(const Bits& other) const {
+    Bits out(n_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      out.words_[i] = words_[i] & ~other.words_[i];
+    return out;
+  }
+  [[nodiscard]] int first() const {
+    for (size_t w = 0; w < words_.size(); ++w)
+      if (words_[w]) return static_cast<int>(w * 64) + __builtin_ctzll(words_[w]);
+    return -1;
+  }
+  /// Iterate set bits.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<int>(w * 64) + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  int n_;
+  std::vector<uint64_t> words_;
+};
+
+/// Bron–Kerbosch with pivot on the complement graph.
+class Enumerator {
+ public:
+  Enumerator(const AdjacencyMatrix& graph, size_t max_sets)
+      : n_(graph.size()), max_sets_(max_sets) {
+    // Complement neighbourhoods: cn_[v] = vertices *compatible* with v
+    // (non-adjacent in the conflict graph, excluding v itself).
+    cn_.reserve(static_cast<size_t>(n_));
+    for (int v = 0; v < n_; ++v) {
+      Bits row(n_);
+      for (int w = 0; w < n_; ++w)
+        if (w != v && !graph.adjacent(v, w)) row.set(w);
+      cn_.push_back(row);
+    }
+  }
+
+  MisResult run() {
+    MisResult result;
+    if (n_ == 0) {
+      result.sets.push_back({});  // the empty graph has one (empty) MIS
+      return result;
+    }
+    Bits p(n_);
+    for (int v = 0; v < n_; ++v) p.set(v);
+    Bits x(n_);
+    std::vector<int> current;
+    expand(p, x, current, result);
+    std::sort(result.sets.begin(), result.sets.end());
+    return result;
+  }
+
+ private:
+  void expand(Bits p, Bits x, std::vector<int>& current, MisResult& result) {
+    if (!result.complete) return;
+    if (p.empty() && x.empty()) {
+      if (result.sets.size() >= max_sets_) {
+        result.complete = false;
+        return;
+      }
+      std::vector<int> set = current;
+      std::sort(set.begin(), set.end());
+      result.sets.push_back(std::move(set));
+      return;
+    }
+    // Pivot: vertex of P ∪ X with the most compatible vertices inside P.
+    int pivot = -1;
+    int best = -1;
+    auto consider = [&](int v) {
+      const int gain = p.and_with(cn_[static_cast<size_t>(v)]).count();
+      if (gain > best) {
+        best = gain;
+        pivot = v;
+      }
+    };
+    p.for_each(consider);
+    x.for_each(consider);
+
+    // Candidates: P minus the pivot's compatible set.
+    Bits candidates = p.and_not(cn_[static_cast<size_t>(pivot)]);
+    std::vector<int> order;
+    candidates.for_each([&](int v) { order.push_back(v); });
+
+    for (int v : order) {
+      Bits new_p = p.and_with(cn_[static_cast<size_t>(v)]);
+      Bits new_x = x.and_with(cn_[static_cast<size_t>(v)]);
+      current.push_back(v);
+      expand(new_p, new_x, current, result);
+      current.pop_back();
+      if (!result.complete) return;
+      p.reset(v);
+      x.set(v);
+    }
+  }
+
+  int n_;
+  size_t max_sets_;
+  std::vector<Bits> cn_;
+};
+
+}  // namespace
+
+MisResult enumerate_maximal_independent_sets(const AdjacencyMatrix& graph,
+                                             size_t max_sets) {
+  BWS_CHECK(max_sets > 0, "max_sets must be positive");
+  return Enumerator(graph, max_sets).run();
+}
+
+std::vector<uint64_t> emission_counts(const MisResult& result,
+                                      int num_vertices) {
+  std::vector<uint64_t> counts(static_cast<size_t>(num_vertices), 0);
+  for (const auto& set : result.sets)
+    for (int v : set) {
+      BWS_CHECK(v >= 0 && v < num_vertices, "vertex out of range in MIS");
+      ++counts[static_cast<size_t>(v)];
+    }
+  return counts;
+}
+
+}  // namespace bwshare::models

@@ -1,0 +1,53 @@
+// Maximal-independent-set enumeration over conflict graphs.
+//
+// The Myrinet model (paper §V-B) considers every feasible combination of
+// communication states where a communication is either "send" or "wait",
+// under the rule: a sending communication forces every conflicting
+// communication (same source node or same destination node) to wait, and no
+// communication waits needlessly. The feasible "send" sets are therefore
+// exactly the *maximal independent sets* of the conflict graph.
+//
+// Enumeration is Bron–Kerbosch with pivoting on the complement graph
+// (maximal independent sets of G = maximal cliques of G̅), over dynamic
+// bitsets. Components are enumerated independently by the caller
+// (state-set counts multiply across components).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bwshare::models {
+
+/// Dense undirected adjacency used by the enumerator.
+class AdjacencyMatrix {
+ public:
+  explicit AdjacencyMatrix(int n);
+
+  void add_edge(int a, int b);
+  [[nodiscard]] bool adjacent(int a, int b) const;
+  [[nodiscard]] int size() const { return n_; }
+
+ private:
+  int n_;
+  std::vector<std::vector<bool>> adj_;
+};
+
+struct MisResult {
+  /// Each entry is a maximal independent set (sorted vertex lists).
+  std::vector<std::vector<int>> sets;
+  /// False if enumeration stopped early at `max_sets`.
+  bool complete = true;
+};
+
+/// Enumerate all maximal independent sets of the graph, stopping after
+/// `max_sets` (a safety valve; paper-scale graphs produce a handful).
+[[nodiscard]] MisResult enumerate_maximal_independent_sets(
+    const AdjacencyMatrix& graph, size_t max_sets = 1u << 20);
+
+/// Number of maximal independent sets containing each vertex
+/// ("emission coefficients" before the per-node minimum of §V-B).
+[[nodiscard]] std::vector<uint64_t> emission_counts(const MisResult& result,
+                                                    int num_vertices);
+
+}  // namespace bwshare::models

@@ -1,0 +1,68 @@
+// Myrinet 2000 congestion model (paper §V-B).
+//
+// A descriptive model built on the NIC's Stop & Go flow control: at any
+// moment each communication is either sending or waiting, and a sending
+// communication silences every communication that shares its source node or
+// its destination node. The feasible send-sets are the maximal independent
+// sets of the conflict graph (see models/mis.hpp).
+//
+// From the enumeration (paper Fig 5/6):
+//   * emission coefficient of c  = number of state sets where c sends;
+//   * per source node, every outgoing communication is clamped to the
+//     *minimum* emission coefficient among that node's outgoing
+//     communications (the NIC shares the card fairly, so everyone moves at
+//     the slowest sibling's pace);
+//   * penalty(c) = (#state sets) / (clamped emission coefficient).
+//
+// State-set counts multiply across connected components of the conflict
+// graph, and the penalty ratio only depends on the communication's own
+// component, so enumeration is done per component.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/conflict.hpp"
+#include "models/mis.hpp"
+#include "models/penalty_model.hpp"
+
+namespace bwshare::models {
+
+struct MyrinetParams {
+  /// Conflict rule; the paper's model uses same-source-or-same-destination.
+  graph::ConflictRule rule = graph::ConflictRule::kSharedEndpointSameDirection;
+  /// Safety valve for pathological graphs.
+  size_t max_state_sets = 1u << 20;
+};
+
+class MyrinetModel final : public PenaltyModel {
+ public:
+  explicit MyrinetModel(MyrinetParams params = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<double> penalties(
+      const graph::CommGraph& graph) const override;
+
+  /// Full analysis exposed for tests and the fig-5/6 bench.
+  struct Analysis {
+    /// Global number of state sets (product over components).
+    uint64_t num_state_sets = 1;
+    /// Emission coefficient per comm, scaled to the *global* set count
+    /// (as the paper's fig 6 "Sum" row reports).
+    std::vector<uint64_t> emission;
+    /// After the per-source-node minimum (fig 6 "Minimum" row).
+    std::vector<uint64_t> min_emission;
+    std::vector<double> penalty;
+    /// The explicit global state sets; only filled by analyze() when
+    /// `materialize_sets` and the graph is small (fig-5 style displays).
+    std::vector<std::vector<graph::CommId>> state_sets;
+    bool complete = true;
+  };
+
+  [[nodiscard]] Analysis analyze(const graph::CommGraph& graph,
+                                 bool materialize_sets = false) const;
+
+ private:
+  MyrinetParams params_;
+};
+
+}  // namespace bwshare::models

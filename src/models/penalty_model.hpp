@@ -1,0 +1,40 @@
+// The predictive-model interface (paper §V).
+//
+// A penalty model looks at a communication graph — the set of point-to-point
+// communications that are in flight at the same time — and assigns each
+// communication a penalty p >= 1: the factor by which bandwidth sharing
+// inflates its completion time relative to an unconflicted transfer
+// (paper §IV-B: p_i = T_i / T_ref).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "topo/network.hpp"
+
+namespace bwshare::models {
+
+class PenaltyModel {
+ public:
+  virtual ~PenaltyModel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Penalty for every communication in `graph` (same order as
+  /// graph.comms()). Intra-node communications always get 1.0.
+  [[nodiscard]] virtual std::vector<double> penalties(
+      const graph::CommGraph& graph) const = 0;
+
+  /// Predicted completion time of communication `id` under `cal`, assuming
+  /// all communications of `graph` are concurrent for their whole duration.
+  /// Default: latency + penalty * bytes / reference_bandwidth.
+  [[nodiscard]] virtual std::vector<double> predict_times(
+      const graph::CommGraph& graph,
+      const topo::NetworkCalibration& cal) const;
+};
+
+using PenaltyModelPtr = std::unique_ptr<PenaltyModel>;
+
+}  // namespace bwshare::models

@@ -1,0 +1,34 @@
+#include "models/registry.hpp"
+
+#include "models/baselines.hpp"
+#include "models/gige.hpp"
+#include "models/infiniband.hpp"
+#include "models/myrinet.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::models {
+
+PenaltyModelPtr make_model(const std::string& name) {
+  if (name == "gige") return std::make_unique<GigabitEthernetModel>();
+  if (name == "myrinet") return std::make_unique<MyrinetModel>();
+  if (name == "infiniband") return std::make_unique<InfinibandModel>();
+  if (name == "loggp") return std::make_unique<LinearLogGPModel>();
+  if (name == "kimlee") return std::make_unique<KimLeeModel>();
+  BWS_THROW("unknown model '" + name + "'");
+}
+
+PenaltyModelPtr model_for(topo::NetworkTech tech) {
+  switch (tech) {
+    case topo::NetworkTech::kGigabitEthernet: return make_model("gige");
+    case topo::NetworkTech::kMyrinet2000: return make_model("myrinet");
+    case topo::NetworkTech::kInfinibandInfinihost3:
+      return make_model("infiniband");
+  }
+  BWS_THROW("invalid network technology");
+}
+
+std::vector<std::string> model_names() {
+  return {"gige", "myrinet", "infiniband", "loggp", "kimlee"};
+}
+
+}  // namespace bwshare::models

@@ -1,0 +1,22 @@
+// Model registry: build a penalty model by name or pick the paper's model
+// for a given interconnect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/penalty_model.hpp"
+#include "topo/network.hpp"
+
+namespace bwshare::models {
+
+/// "gige", "myrinet", "infiniband", "loggp", "kimlee" (default parameters).
+[[nodiscard]] PenaltyModelPtr make_model(const std::string& name);
+
+/// The model the paper associates with each interconnect.
+[[nodiscard]] PenaltyModelPtr model_for(topo::NetworkTech tech);
+
+/// All registered model names.
+[[nodiscard]] std::vector<std::string> model_names();
+
+}  // namespace bwshare::models

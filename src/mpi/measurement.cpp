@@ -1,0 +1,125 @@
+#include "mpi/measurement.hpp"
+
+#include <map>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::mpi {
+
+namespace {
+
+/// Build the measurement job: tasks 2i (sender) and 2i+1 (receiver) per
+/// communication, `rounds` iterations separated by barriers.
+sim::AppTrace build_job(const graph::CommGraph& scheme, int rounds) {
+  sim::AppTrace trace(2 * scheme.size());
+  for (int round = 0; round < rounds; ++round) {
+    for (graph::CommId i = 0; i < scheme.size(); ++i) {
+      const auto& c = scheme.comm(i);
+      (void)c;
+      trace.push(2 * i, sim::Event::send(2 * i + 1, scheme.comm(i).bytes));
+      trace.push(2 * i + 1, sim::Event::recv(2 * i, scheme.comm(i).bytes));
+    }
+    trace.push_barrier_all();
+  }
+  trace.validate();
+  return trace;
+}
+
+sim::Placement build_placement(const graph::CommGraph& scheme) {
+  std::vector<topo::NodeId> nodes(static_cast<size_t>(2 * scheme.size()));
+  for (graph::CommId i = 0; i < scheme.size(); ++i) {
+    nodes[static_cast<size_t>(2 * i)] = scheme.comm(i).src;
+    nodes[static_cast<size_t>(2 * i + 1)] = scheme.comm(i).dst;
+  }
+  return sim::Placement(std::move(nodes));
+}
+
+/// Mean sender-side time of the last `measured` rounds for each comm.
+std::vector<double> sender_times(const sim::SimResult& result,
+                                 const graph::CommGraph& scheme, int rounds,
+                                 int measured) {
+  // Records group by (src_task): comm i uses tasks 2i -> 2i+1; they appear
+  // once per round in posting order.
+  std::map<sim::TaskId, std::vector<const sim::CommRecord*>> by_sender;
+  for (const auto& rec : result.comms)
+    by_sender[rec.src_task].push_back(&rec);
+
+  std::vector<double> times(static_cast<size_t>(scheme.size()), 0.0);
+  for (graph::CommId i = 0; i < scheme.size(); ++i) {
+    const auto& records = by_sender[2 * i];
+    BWS_ASSERT(static_cast<int>(records.size()) == rounds,
+               "unexpected record count for a measured communication");
+    double total = 0.0;
+    for (int r = rounds - measured; r < rounds; ++r) {
+      const auto& rec = *records[static_cast<size_t>(r)];
+      const double t = rec.sender_time > 0.0 ? rec.sender_time
+                                             : rec.finish - rec.send_post;
+      total += t;
+    }
+    times[static_cast<size_t>(i)] = total / measured;
+  }
+  return times;
+}
+
+/// Referential time: one message of `bytes` from node 0 to node 1, alone.
+double probe_reference(double bytes, const topo::ClusterSpec& cluster,
+                       const flowsim::RateProvider& provider,
+                       const MeasurementConfig& cfg) {
+  graph::CommGraph single;
+  single.add("ref", 0, 1, bytes);
+  const int rounds = cfg.warmup + cfg.iterations;
+  const auto trace = build_job(single, rounds);
+  const auto placement = build_placement(single);
+  const auto result = sim::run_simulation(trace, cluster, placement, provider);
+  return sender_times(result, single, rounds, cfg.iterations)[0];
+}
+
+}  // namespace
+
+PenaltyMeasurement measure_scheme_penalties(const graph::CommGraph& scheme,
+                                            const topo::ClusterSpec& cluster,
+                                            const flowsim::RateProvider& provider,
+                                            const MeasurementConfig& cfg) {
+  BWS_CHECK(!scheme.empty(), "scheme has no communications");
+  BWS_CHECK(cfg.iterations >= 1, "need at least one measured iteration");
+  BWS_CHECK(cfg.warmup >= 0, "warmup must be non-negative");
+  BWS_CHECK(scheme.num_nodes() <= cluster.num_nodes(),
+            "scheme references more nodes than the cluster has");
+
+  PenaltyMeasurement out;
+  out.t_ref = probe_reference(cfg.reference_bytes, cluster, provider, cfg);
+
+  const int rounds = cfg.warmup + cfg.iterations;
+  const auto trace = build_job(scheme, rounds);
+  const auto placement = build_placement(scheme);
+  const auto result = sim::run_simulation(trace, cluster, placement, provider);
+  out.times = sender_times(result, scheme, rounds, cfg.iterations);
+
+  // Reference per distinct message size (all fig-2 schemes are uniform, but
+  // synthetic graphs may mix sizes).
+  std::map<double, double> ref_for_size;
+  out.penalties.resize(out.times.size());
+  for (graph::CommId i = 0; i < scheme.size(); ++i) {
+    const double bytes = scheme.comm(i).bytes;
+    auto it = ref_for_size.find(bytes);
+    if (it == ref_for_size.end()) {
+      const double ref = bytes == cfg.reference_bytes
+                             ? out.t_ref
+                             : probe_reference(bytes, cluster, provider, cfg);
+      it = ref_for_size.emplace(bytes, ref).first;
+    }
+    out.penalties[static_cast<size_t>(i)] =
+        out.times[static_cast<size_t>(i)] / it->second;
+  }
+  return out;
+}
+
+std::vector<double> measure_times(const graph::CommGraph& scheme,
+                                  const topo::ClusterSpec& cluster,
+                                  const flowsim::RateProvider& provider,
+                                  const MeasurementConfig& config) {
+  return measure_scheme_penalties(scheme, cluster, provider, config).times;
+}
+
+}  // namespace bwshare::mpi

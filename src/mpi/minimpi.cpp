@@ -1,0 +1,57 @@
+#include "mpi/minimpi.hpp"
+
+#include "util/error.hpp"
+
+namespace bwshare::mpi {
+
+void Rank::send(sim::TaskId to, double bytes) {
+  BWS_CHECK(to != rank_, "a task cannot MPI_Send to itself");
+  BWS_CHECK(to >= 0 && to < size_, "send destination out of range");
+  trace_.push(rank_, sim::Event::send(to, bytes));
+}
+
+void Rank::recv(sim::TaskId from, double bytes) {
+  BWS_CHECK(from >= 0 && from < size_, "receive source out of range");
+  trace_.push(rank_, sim::Event::recv(from, bytes));
+}
+
+void Rank::recv_any(double bytes) {
+  trace_.push(rank_, sim::Event::recv_any(bytes));
+}
+
+void Rank::isend(sim::TaskId to, double bytes) {
+  BWS_CHECK(to != rank_, "a task cannot MPI_Isend to itself");
+  BWS_CHECK(to >= 0 && to < size_, "send destination out of range");
+  trace_.push(rank_, sim::Event::isend(to, bytes));
+}
+
+void Rank::irecv(sim::TaskId from, double bytes) {
+  BWS_CHECK(from >= 0 && from < size_, "receive source out of range");
+  trace_.push(rank_, sim::Event::irecv(from, bytes));
+}
+
+void Rank::wait_all() { trace_.push(rank_, sim::Event::wait_all()); }
+
+void Rank::compute(double seconds) {
+  trace_.push(rank_, sim::Event::compute(seconds));
+}
+
+void Rank::barrier() { trace_.push(rank_, sim::Event::barrier()); }
+
+MiniMpi::MiniMpi(int size) : trace_(size) {
+  BWS_CHECK(size >= 1, "MiniMPI needs at least one rank");
+}
+
+void MiniMpi::run(const std::function<void(Rank&)>& body) {
+  for (sim::TaskId r = 0; r < trace_.num_tasks(); ++r) {
+    Rank rank(trace_, r, trace_.num_tasks());
+    body(rank);
+  }
+}
+
+const sim::AppTrace& MiniMpi::trace() const {
+  trace_.validate();
+  return trace_;
+}
+
+}  // namespace bwshare::mpi

@@ -1,0 +1,73 @@
+// MiniMPI: a small MPI-flavoured programming interface whose calls record
+// application traces for the simulator. Task functions are written like MPI
+// programs (rank/size/send/recv/barrier); running them produces the
+// sim::AppTrace the engine replays. This mirrors how the paper gathers
+// application events (an instrumented MPI, §VI-D) without needing a real
+// MPI installation.
+//
+//   MiniMpi mpi(4);
+//   mpi.run([](Rank& self) {
+//     if (self.rank() == 0) self.send(1, 20 * MB);
+//     if (self.rank() == 1) self.recv(0, 20 * MB);
+//     self.barrier();
+//   });
+//   sim::AppTrace trace = mpi.trace();
+#pragma once
+
+#include <functional>
+
+#include "sim/events.hpp"
+
+namespace bwshare::mpi {
+
+/// Per-task recording handle passed to user task functions.
+class Rank {
+ public:
+  Rank(sim::AppTrace& trace, sim::TaskId rank, int size)
+      : trace_(trace), rank_(rank), size_(size) {}
+
+  [[nodiscard]] sim::TaskId rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Blocking send (MPI_Send).
+  void send(sim::TaskId to, double bytes);
+  /// Blocking receive from a specific source.
+  void recv(sim::TaskId from, double bytes);
+  /// Blocking receive with MPI_ANY_SOURCE.
+  void recv_any(double bytes);
+  /// Non-blocking send (MPI_Isend); complete it with wait_all().
+  void isend(sim::TaskId to, double bytes);
+  /// Non-blocking receive (MPI_Irecv); complete it with wait_all().
+  void irecv(sim::TaskId from, double bytes);
+  /// Wait for every outstanding isend/irecv (MPI_Waitall).
+  void wait_all();
+  /// Local computation for `seconds`.
+  void compute(double seconds);
+  /// Synchronization barrier (must be called by every rank the same number
+  /// of times; AppTrace::validate enforces it).
+  void barrier();
+
+ private:
+  sim::AppTrace& trace_;
+  sim::TaskId rank_;
+  int size_;
+};
+
+class MiniMpi {
+ public:
+  explicit MiniMpi(int size);
+
+  /// Run `body` once per rank, recording every call. May be called several
+  /// times; events append in order.
+  void run(const std::function<void(Rank&)>& body);
+
+  /// The recorded (validated) trace.
+  [[nodiscard]] const sim::AppTrace& trace() const;
+
+  [[nodiscard]] int size() const { return trace_.num_tasks(); }
+
+ private:
+  sim::AppTrace trace_;
+};
+
+}  // namespace bwshare::mpi

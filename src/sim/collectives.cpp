@@ -1,0 +1,103 @@
+#include "sim/collectives.hpp"
+
+#include "util/error.hpp"
+
+namespace bwshare::sim {
+
+namespace {
+int ranks_of(const AppTrace& trace) {
+  const int p = trace.num_tasks();
+  BWS_CHECK(p >= 2, "collectives need at least two tasks");
+  return p;
+}
+}  // namespace
+
+void append_ring_broadcast(AppTrace& trace, TaskId root, double bytes) {
+  const int p = ranks_of(trace);
+  BWS_CHECK(root >= 0 && root < p, "root out of range");
+  trace.push(root, Event::send((root + 1) % p, bytes));
+  for (int hop = 1; hop < p; ++hop) {
+    const TaskId task = (root + hop) % p;
+    trace.push(task, Event::recv((root + hop - 1) % p, bytes));
+    if (hop != p - 1) trace.push(task, Event::send((task + 1) % p, bytes));
+  }
+}
+
+void append_binomial_broadcast(AppTrace& trace, TaskId root, double bytes) {
+  const int p = ranks_of(trace);
+  BWS_CHECK(root >= 0 && root < p, "root out of range");
+  // Relative rank v receives from v - msb(v) and then sends to v + 2^r for
+  // every r with msb(v) < 2^r and v + 2^r < p. Emitting events per task in
+  // round order keeps each program consistent.
+  for (int v = 0; v < p; ++v) {
+    const TaskId task = (root + v) % p;
+    int first_round = 0;
+    if (v != 0) {
+      int msb = 1;
+      while (msb * 2 <= v) msb *= 2;
+      trace.push(task, Event::recv((root + (v - msb)) % p, bytes));
+      first_round = 1;
+      while ((1 << (first_round - 1)) < msb) ++first_round;
+    }
+    for (int r = first_round; (1 << r) < p; ++r) {
+      const int peer = v + (1 << r);
+      if (peer < p) trace.push(task, Event::send((root + peer) % p, bytes));
+    }
+  }
+}
+
+void append_scatter(AppTrace& trace, TaskId root, double bytes) {
+  const int p = ranks_of(trace);
+  BWS_CHECK(root >= 0 && root < p, "root out of range");
+  // Non-blocking sends so all p-1 messages leave concurrently: the paper's
+  // outgoing conflict C<-X-> of degree p-1.
+  for (int t = 0; t < p; ++t) {
+    if (t == root) continue;
+    trace.push(root, Event::isend(t, bytes));
+    trace.push(t, Event::recv(root, bytes));
+  }
+  trace.push(root, Event::wait_all());
+}
+
+void append_gather(AppTrace& trace, TaskId root, double bytes) {
+  const int p = ranks_of(trace);
+  BWS_CHECK(root >= 0 && root < p, "root out of range");
+  // Root posts every receive up front (as MPI_Gather implementations do),
+  // so the p-1 senders stream concurrently: the income conflict C->X<- of
+  // degree p-1.
+  for (int t = 0; t < p; ++t) {
+    if (t == root) continue;
+    trace.push(root, Event::irecv(t, bytes));
+    trace.push(t, Event::send(root, bytes));
+  }
+  trace.push(root, Event::wait_all());
+}
+
+void append_ring_allreduce(AppTrace& trace, double bytes) {
+  const int p = ranks_of(trace);
+  const double chunk = bytes / p;
+  // Reduce-scatter then allgather: 2(p-1) rounds; every round, all ring
+  // links are busy at once (irecv first so the cycle cannot deadlock).
+  for (int round = 0; round < 2 * (p - 1); ++round) {
+    for (int t = 0; t < p; ++t) {
+      trace.push(t, Event::irecv((t + p - 1) % p, chunk));
+      trace.push(t, Event::isend((t + 1) % p, chunk));
+      trace.push(t, Event::wait_all());
+    }
+  }
+}
+
+void append_all_to_all(AppTrace& trace, double bytes) {
+  const int p = ranks_of(trace);
+  // Round r: task i exchanges with i+r and i-r. Non-blocking pairs per
+  // round, so each round saturates every host in both directions.
+  for (int r = 1; r < p; ++r) {
+    for (int t = 0; t < p; ++t) {
+      trace.push(t, Event::irecv((t + p - r) % p, bytes));
+      trace.push(t, Event::isend((t + r) % p, bytes));
+      trace.push(t, Event::wait_all());
+    }
+  }
+}
+
+}  // namespace bwshare::sim

@@ -1,0 +1,42 @@
+// Collective-communication trace builders.
+//
+// The paper's HPL workload uses one specific collective implementation — a
+// ring broadcast (task n -> n+1). This module generalizes that: it emits
+// event traces for the classic algorithms so the simulator can compare how
+// each interacts with bandwidth sharing (see bench/ext_collectives).
+//
+// All builders append to an existing AppTrace so collectives can be mixed
+// with application phases.
+#pragma once
+
+#include "sim/events.hpp"
+
+namespace bwshare::sim {
+
+/// Ring broadcast from `root`: root -> root+1 -> ... -> root-1.
+/// (The HPL §VI-D pattern.) p-1 sequential messages of `bytes`.
+void append_ring_broadcast(AppTrace& trace, TaskId root, double bytes);
+
+/// Binomial-tree broadcast from `root`: ceil(log2 p) rounds; round r has
+/// 2^r concurrent messages — the classic latency-optimal tree whose
+/// concurrent sends *do* conflict on SMP nodes.
+void append_binomial_broadcast(AppTrace& trace, TaskId root, double bytes);
+
+/// Scatter from `root`: root sends a distinct `bytes` block to every other
+/// task, back to back — a pure outgoing conflict C<-X-> of degree p-1.
+void append_scatter(AppTrace& trace, TaskId root, double bytes);
+
+/// Gather to `root`: every task sends `bytes` to root (any-source receives)
+/// — a pure income conflict C->X<- of degree p-1.
+void append_gather(AppTrace& trace, TaskId root, double bytes);
+
+/// Ring allreduce on `bytes` of payload: reduce-scatter + allgather,
+/// 2(p-1) rounds of bytes/p messages, all ring neighbours concurrently.
+void append_ring_allreduce(AppTrace& trace, double bytes);
+
+/// Naive all-to-all: every task sends `bytes` to every other task,
+/// scheduled round-robin (round r: task i sends to i+r) to avoid trivial
+/// serialization. The densest conflict pattern of all.
+void append_all_to_all(AppTrace& trace, double bytes);
+
+}  // namespace bwshare::sim

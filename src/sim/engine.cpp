@@ -1,0 +1,485 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::sim {
+
+double SimResult::average_penalty() const {
+  if (comms.empty()) return 1.0;
+  double total = 0.0;
+  for (const auto& c : comms) total += c.penalty;
+  return total / static_cast<double>(comms.size());
+}
+
+double SimResult::task_comm_time(TaskId t) const {
+  BWS_CHECK(t >= 0 && t < static_cast<TaskId>(tasks.size()),
+            "task out of range");
+  return tasks[static_cast<size_t>(t)].send_blocked_seconds;
+}
+
+namespace {
+
+enum class TaskState { kReady, kComputing, kSendBlocked, kRecvBlocked,
+                       kWaitAll, kBarrier, kDone };
+
+struct PendingSend {
+  TaskId src = 0;
+  uint64_t order = 0;   // global posting order (any-source matching)
+  double bytes = 0.0;
+  double post_time = 0.0;
+  bool rendezvous = false;
+  bool tracked = false;  // posted via kIsend; completes a WaitAll request
+  size_t record = 0;     // index into result.comms
+};
+
+struct PendingRecv {
+  TaskId peer = kAnySource;
+  uint64_t order = 0;
+  double bytes = 0.0;
+  double post_time = 0.0;
+  bool nonblocking = false;  // posted via kIrecv
+};
+
+struct Transfer {
+  size_t record = 0;
+  TaskId src = 0;
+  TaskId dst = 0;
+  double remaining = 0.0;
+  bool rendezvous = false;
+  bool src_tracked = false;      // sender posted via kIsend
+  bool dst_nonblocking = false;  // receiver posted via kIrecv
+  double rate = 0.0;  // refreshed on every active-set change
+};
+
+class Engine {
+ public:
+  Engine(const AppTrace& trace, const topo::ClusterSpec& cluster,
+         const Placement& placement, const flowsim::RateProvider& provider,
+         const EngineConfig& config)
+      : trace_(trace),
+        cluster_(cluster),
+        placement_(placement),
+        provider_(provider),
+        cfg_(config) {
+    BWS_CHECK(placement_.num_tasks() == trace_.num_tasks(),
+              "placement task count must match the trace");
+    for (int t = 0; t < trace_.num_tasks(); ++t)
+      BWS_CHECK(placement_.node_of(t) < cluster_.num_nodes(),
+                "placement references a node outside the cluster");
+    const int n = trace_.num_tasks();
+    state_.assign(static_cast<size_t>(n), TaskState::kReady);
+    pc_.assign(static_cast<size_t>(n), 0);
+    ready_at_.assign(static_cast<size_t>(n), 0.0);
+    blocked_since_.assign(static_cast<size_t>(n), 0.0);
+    result_.tasks.assign(static_cast<size_t>(n), TaskStats{});
+    pending_sends_.resize(static_cast<size_t>(n));
+    pending_recvs_.resize(static_cast<size_t>(n));
+    outstanding_requests_.assign(static_cast<size_t>(n), 0);
+  }
+
+  SimResult run() {
+    // Drive every task as far as it can go, then hop to the next event.
+    for (TaskId t = 0; t < trace_.num_tasks(); ++t) advance_task(t);
+    while (true) {
+      if (all_done()) break;
+      const double next_compute = earliest_compute_end();
+      const double next_transfer = earliest_transfer_end();
+      const double next = std::min(next_compute, next_transfer);
+      BWS_CHECK(next < std::numeric_limits<double>::infinity(),
+                deadlock_message());
+      BWS_CHECK(next <= cfg_.max_time, "simulation exceeded max_time");
+      now_ = next;
+      if (next_transfer <= next_compute) {
+        complete_one_transfer();
+      } else {
+        wake_computers();
+      }
+    }
+    result_.makespan = now_;
+    for (TaskId t = 0; t < trace_.num_tasks(); ++t)
+      result_.tasks[static_cast<size_t>(t)].finish_time =
+          std::max(result_.tasks[static_cast<size_t>(t)].finish_time, 0.0);
+    return std::move(result_);
+  }
+
+ private:
+  // --- task stepping -------------------------------------------------------
+
+  void advance_task(TaskId t) {
+    auto& st = state_[static_cast<size_t>(t)];
+    while (st == TaskState::kReady) {
+      const auto& program = trace_.program(t);
+      if (pc_[static_cast<size_t>(t)] >= program.size()) {
+        st = TaskState::kDone;
+        result_.tasks[static_cast<size_t>(t)].finish_time = now_;
+        return;
+      }
+      const Event& e = program[pc_[static_cast<size_t>(t)]++];
+      switch (e.kind) {
+        case EventKind::kCompute:
+          st = TaskState::kComputing;
+          ready_at_[static_cast<size_t>(t)] = now_ + e.seconds;
+          result_.tasks[static_cast<size_t>(t)].compute_seconds += e.seconds;
+          return;
+        case EventKind::kSend:
+          post_send(t, e, /*nonblocking=*/false);
+          return;  // state set inside (may stay kReady for eager)
+        case EventKind::kIsend:
+          post_send(t, e, /*nonblocking=*/true);
+          // The send may have completed the task's program synchronously
+          // (eager path advances); stop if the state moved on.
+          if (st != TaskState::kReady) return;
+          break;
+        case EventKind::kRecv:
+          post_recv(t, e, /*nonblocking=*/false);
+          return;
+        case EventKind::kIrecv:
+          post_recv(t, e, /*nonblocking=*/true);
+          break;  // task stays ready; loop continues
+        case EventKind::kWaitAll:
+          if (outstanding_requests_[static_cast<size_t>(t)] > 0) {
+            st = TaskState::kWaitAll;
+            blocked_since_[static_cast<size_t>(t)] = now_;
+            return;
+          }
+          break;  // nothing outstanding: fall through to the next event
+        case EventKind::kBarrier:
+          arrive_barrier(t);
+          return;
+      }
+    }
+  }
+
+  void post_send(TaskId t, const Event& e, bool nonblocking) {
+    auto& stats = result_.tasks[static_cast<size_t>(t)];
+    ++stats.sends;
+    const bool rendezvous = !nonblocking && e.bytes >= cfg_.eager_threshold;
+
+    CommRecord rec;
+    rec.src_task = t;
+    rec.dst_task = e.peer;
+    rec.src_node = placement_.node_of(t);
+    rec.dst_node = placement_.node_of(e.peer);
+    rec.bytes = e.bytes;
+    rec.send_post = now_;
+    result_.comms.push_back(rec);
+    const size_t record = result_.comms.size() - 1;
+
+    PendingSend ps;
+    ps.src = t;
+    ps.order = next_order_++;
+    ps.bytes = e.bytes;
+    ps.post_time = now_;
+    ps.rendezvous = rendezvous;
+    ps.tracked = nonblocking;
+    ps.record = record;
+
+    if (rendezvous) {
+      state_[static_cast<size_t>(t)] = TaskState::kSendBlocked;
+      blocked_since_[static_cast<size_t>(t)] = now_;
+    } else {
+      state_[static_cast<size_t>(t)] = TaskState::kReady;
+      if (nonblocking) ++outstanding_requests_[static_cast<size_t>(t)];
+    }
+
+    // Try to match an already-posted receive at the destination.
+    auto& recvs = pending_recvs_[static_cast<size_t>(e.peer)];
+    for (auto it = recvs.begin(); it != recvs.end(); ++it) {
+      if (it->peer == kAnySource || it->peer == t) {
+        result_.comms[record].recv_post = it->post_time;
+        const bool dst_nonblocking = it->nonblocking;
+        recvs.erase(it);
+        start_transfer(ps, e.peer, dst_nonblocking);
+        if (!rendezvous && !nonblocking) advance_task(t);
+        return;
+      }
+    }
+    pending_sends_[static_cast<size_t>(e.peer)].push_back(ps);
+    if (!rendezvous && !nonblocking) advance_task(t);
+  }
+
+  void post_recv(TaskId t, const Event& e, bool nonblocking) {
+    auto& stats = result_.tasks[static_cast<size_t>(t)];
+    ++stats.recvs;
+    if (nonblocking) {
+      ++outstanding_requests_[static_cast<size_t>(t)];
+    } else {
+      state_[static_cast<size_t>(t)] = TaskState::kRecvBlocked;
+      blocked_since_[static_cast<size_t>(t)] = now_;
+    }
+
+    // Match the earliest pending send addressed to us (by posting order).
+    auto& sends = pending_sends_[static_cast<size_t>(t)];
+    auto best = sends.end();
+    for (auto it = sends.begin(); it != sends.end(); ++it) {
+      if (e.peer != kAnySource && it->src != e.peer) continue;
+      if (best == sends.end() || it->order < best->order) best = it;
+    }
+    if (best != sends.end()) {
+      PendingSend ps = *best;
+      sends.erase(best);
+      result_.comms[ps.record].recv_post = now_;
+      start_transfer(ps, t, nonblocking);
+      return;
+    }
+    PendingRecv pr;
+    pr.peer = e.peer;
+    pr.order = next_order_++;
+    pr.bytes = e.bytes;
+    pr.post_time = now_;
+    pr.nonblocking = nonblocking;
+    pending_recvs_[static_cast<size_t>(t)].push_back(pr);
+  }
+
+  void arrive_barrier(TaskId t) {
+    state_[static_cast<size_t>(t)] = TaskState::kBarrier;
+    blocked_since_[static_cast<size_t>(t)] = now_;
+    ++barrier_arrivals_;
+    if (barrier_arrivals_ < trace_.num_tasks()) return;
+    // Everyone arrived: release.
+    drain_to_now();
+    barrier_arrivals_ = 0;
+    for (TaskId u = 0; u < trace_.num_tasks(); ++u) {
+      if (state_[static_cast<size_t>(u)] != TaskState::kBarrier) continue;
+      result_.tasks[static_cast<size_t>(u)].barrier_wait_seconds +=
+          now_ - blocked_since_[static_cast<size_t>(u)];
+      state_[static_cast<size_t>(u)] = TaskState::kReady;
+    }
+    now_ += cfg_.barrier_cost;
+    drain_to_now();
+    for (TaskId u = 0; u < trace_.num_tasks(); ++u)
+      if (state_[static_cast<size_t>(u)] == TaskState::kReady) advance_task(u);
+  }
+
+  // --- transfers -----------------------------------------------------------
+
+  /// Account the bytes every active transfer moved since the last drain.
+  /// Must run before any rate refresh or change to the transfer set.
+  void drain_to_now() {
+    if (now_ > drain_time_) {
+      for (auto& tr : transfers_)
+        tr.remaining = std::max(0.0, tr.remaining - tr.rate * (now_ - drain_time_));
+    }
+    drain_time_ = now_;
+  }
+
+  void start_transfer(const PendingSend& ps, TaskId dst,
+                      bool dst_nonblocking) {
+    drain_to_now();
+    Transfer tr;
+    tr.record = ps.record;
+    tr.src = ps.src;
+    tr.dst = dst;
+    tr.remaining = std::max(ps.bytes, 1.0);  // 0-length still costs latency
+    tr.rendezvous = ps.rendezvous;
+    tr.src_tracked = ps.tracked;
+    tr.dst_nonblocking = dst_nonblocking;
+    result_.comms[ps.record].start = now_;
+    transfers_.push_back(tr);
+    refresh_rates();
+  }
+
+  void refresh_rates() {
+    if (transfers_.empty()) return;
+    graph::CommGraph active;
+    for (size_t k = 0; k < transfers_.size(); ++k) {
+      const auto& tr = transfers_[k];
+      active.add(strformat("t%zu", k), placement_.node_of(tr.src),
+                 placement_.node_of(tr.dst), tr.remaining);
+    }
+    const auto rates = provider_.rates(active);
+    BWS_ASSERT(rates.size() == transfers_.size(), "rate size mismatch");
+    for (size_t k = 0; k < transfers_.size(); ++k) {
+      BWS_CHECK(rates[k] > 0.0, "provider returned a zero rate");
+      transfers_[k].rate = rates[k];
+    }
+  }
+
+  [[nodiscard]] double earliest_transfer_end() const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& tr : transfers_)
+      best = std::min(best, drain_time_ + tr.remaining / tr.rate);
+    return std::max(best, now_);
+  }
+
+  [[nodiscard]] double earliest_compute_end() const {
+    double best = std::numeric_limits<double>::infinity();
+    for (TaskId t = 0; t < trace_.num_tasks(); ++t)
+      if (state_[static_cast<size_t>(t)] == TaskState::kComputing)
+        best = std::min(best, ready_at_[static_cast<size_t>(t)]);
+    return best;
+  }
+
+  void complete_one_transfer() {
+    // Drain all transfers to `now_`, then finish the one closest to zero.
+    // Rounding error accumulates over many partial drains of large
+    // transfers, so completion is judged by remaining *time* with a
+    // tolerance relative to the message size.
+    drain_to_now();
+    size_t done = transfers_.size();
+    double best_time = std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < transfers_.size(); ++k) {
+      const double t_left = transfers_[k].remaining / transfers_[k].rate;
+      if (t_left < best_time) {
+        best_time = t_left;
+        done = k;
+      }
+    }
+    BWS_ASSERT(done < transfers_.size(), "no transfer completed");
+    BWS_ASSERT(
+        transfers_[done].remaining <=
+            1e-6 + 1e-9 * result_.comms[transfers_[done].record].bytes,
+        "completing a transfer with significant bytes left");
+
+    const Transfer tr = transfers_[static_cast<size_t>(done)];
+    transfers_.erase(transfers_.begin() + static_cast<long>(done));
+
+    auto& rec = result_.comms[tr.record];
+    const double latency = latency_for(rec);
+    rec.finish = now_ + latency;
+    const double ref = reference_duration(rec);
+    rec.penalty = ref > 0.0 ? (rec.finish - rec.start) / ref : 1.0;
+
+    // Unblock the sender (rendezvous) at drain time.
+    if (tr.rendezvous) {
+      auto& stats = result_.tasks[static_cast<size_t>(tr.src)];
+      rec.sender_time = now_ - rec.send_post;
+      stats.send_blocked_seconds += now_ - blocked_since_[static_cast<size_t>(tr.src)];
+      state_[static_cast<size_t>(tr.src)] = TaskState::kReady;
+    } else {
+      rec.sender_time = 0.0;
+    }
+    // Retire a tracked Isend; may release the sender's WaitAll.
+    if (tr.src_tracked) retire_request(tr.src, /*latency=*/0.0);
+    // Unblock the receiver one latency later; the delay is modelled as a
+    // tiny compute burst so event ordering stays exact.
+    if (tr.dst_nonblocking) {
+      // Non-blocking receive: retire the request; release a pending WaitAll
+      // when it was the last one.
+      retire_request(tr.dst, latency);
+    } else {
+      auto& stats = result_.tasks[static_cast<size_t>(tr.dst)];
+      stats.recv_blocked_seconds +=
+          (now_ + latency) - blocked_since_[static_cast<size_t>(tr.dst)];
+      if (latency > 0.0) {
+        state_[static_cast<size_t>(tr.dst)] = TaskState::kComputing;
+        ready_at_[static_cast<size_t>(tr.dst)] = now_ + latency;
+      } else {
+        state_[static_cast<size_t>(tr.dst)] = TaskState::kReady;
+      }
+    }
+
+    refresh_rates();
+    if (state_[static_cast<size_t>(tr.src)] == TaskState::kReady)
+      advance_task(tr.src);
+    if (state_[static_cast<size_t>(tr.dst)] == TaskState::kReady)
+      advance_task(tr.dst);
+  }
+
+  /// Retire one non-blocking request of `task`; if it was the last one and
+  /// the task sits in WaitAll, release it (after `latency` for receives).
+  void retire_request(TaskId task, double latency) {
+    auto& outstanding = outstanding_requests_[static_cast<size_t>(task)];
+    BWS_ASSERT(outstanding > 0, "request completion without a request");
+    --outstanding;
+    if (outstanding != 0 ||
+        state_[static_cast<size_t>(task)] != TaskState::kWaitAll)
+      return;
+    auto& stats = result_.tasks[static_cast<size_t>(task)];
+    stats.recv_blocked_seconds +=
+        (now_ + latency) - blocked_since_[static_cast<size_t>(task)];
+    if (latency > 0.0) {
+      state_[static_cast<size_t>(task)] = TaskState::kComputing;
+      ready_at_[static_cast<size_t>(task)] = now_ + latency;
+    } else {
+      state_[static_cast<size_t>(task)] = TaskState::kReady;
+    }
+  }
+
+  void wake_computers() {
+    for (TaskId t = 0; t < trace_.num_tasks(); ++t) {
+      if (state_[static_cast<size_t>(t)] == TaskState::kComputing &&
+          ready_at_[static_cast<size_t>(t)] <= now_ + 1e-15) {
+        state_[static_cast<size_t>(t)] = TaskState::kReady;
+        advance_task(t);
+      }
+    }
+  }
+
+  // --- helpers -------------------------------------------------------------
+
+  [[nodiscard]] double latency_for(const CommRecord& rec) const {
+    return rec.src_node == rec.dst_node ? 0.0 : cluster_.network().latency;
+  }
+
+  [[nodiscard]] double reference_duration(const CommRecord& rec) const {
+    const auto& net = cluster_.network();
+    if (rec.src_node == rec.dst_node)
+      return rec.bytes / net.shm_bandwidth;
+    return net.latency + rec.bytes / net.reference_bandwidth();
+  }
+
+  [[nodiscard]] bool all_done() const {
+    for (TaskId t = 0; t < trace_.num_tasks(); ++t)
+      if (state_[static_cast<size_t>(t)] != TaskState::kDone) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::string deadlock_message() const {
+    std::string msg = "simulation deadlock: ";
+    for (TaskId t = 0; t < trace_.num_tasks(); ++t) {
+      const char* s = "?";
+      switch (state_[static_cast<size_t>(t)]) {
+        case TaskState::kReady: s = "ready"; break;
+        case TaskState::kComputing: s = "computing"; break;
+        case TaskState::kSendBlocked: s = "send"; break;
+        case TaskState::kRecvBlocked: s = "recv"; break;
+        case TaskState::kWaitAll: s = "waitall"; break;
+        case TaskState::kBarrier: s = "barrier"; break;
+        case TaskState::kDone: s = "done"; break;
+      }
+      msg += strformat("task%d=%s ", t, s);
+    }
+    return msg;
+  }
+
+  const AppTrace& trace_;
+  const topo::ClusterSpec& cluster_;
+  const Placement& placement_;
+  const flowsim::RateProvider& provider_;
+  EngineConfig cfg_;
+
+  double now_ = 0.0;
+  double drain_time_ = 0.0;
+  uint64_t next_order_ = 0;
+  int barrier_arrivals_ = 0;
+
+  std::vector<TaskState> state_;
+  std::vector<size_t> pc_;
+  std::vector<double> ready_at_;
+  std::vector<double> blocked_since_;
+  std::vector<std::deque<PendingSend>> pending_sends_;  // keyed by dst
+  std::vector<std::deque<PendingRecv>> pending_recvs_;  // keyed by dst
+  std::vector<int> outstanding_requests_;
+  std::vector<Transfer> transfers_;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult run_simulation(const AppTrace& trace,
+                         const topo::ClusterSpec& cluster,
+                         const Placement& placement,
+                         const flowsim::RateProvider& provider,
+                         const EngineConfig& config) {
+  BWS_CHECK(trace.num_tasks() >= 1, "trace needs at least one task");
+  Engine engine(trace, cluster, placement, provider, config);
+  return engine.run();
+}
+
+}  // namespace bwshare::sim

@@ -1,0 +1,84 @@
+// Application traces (paper §VI-A): "one or more applications represented by
+// a sequence of events. There are two kind of events: compute events and
+// communication events."
+//
+// We add an explicit Barrier event because the paper's measurement method
+// (§IV-B) synchronizes tasks with MPI barriers between iterations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bwshare::sim {
+
+using TaskId = int;
+
+/// Matches any sender (the paper's MPI_ANY_SOURCE receive).
+inline constexpr TaskId kAnySource = -1;
+
+enum class EventKind {
+  kCompute,
+  kSend,     // blocking MPI_Send
+  kRecv,     // blocking MPI_Recv
+  kIsend,    // non-blocking MPI_Isend: posts the send, task continues
+  kIrecv,    // non-blocking MPI_Irecv: posts the receive, task continues
+  kWaitAll,  // MPI_Waitall on every outstanding Isend/Irecv of this task
+  kBarrier,
+};
+
+struct Event {
+  EventKind kind = EventKind::kCompute;
+  /// kCompute: duration in seconds.
+  double seconds = 0.0;
+  /// kSend/kRecv: peer task (kAnySource allowed for kRecv only).
+  TaskId peer = 0;
+  /// kSend/kRecv: message length in bytes (as passed to MPI_Send; the
+  /// envelope the MPI implementation adds is part of the calibration).
+  double bytes = 0.0;
+
+  static Event compute(double seconds);
+  static Event send(TaskId to, double bytes);
+  static Event recv(TaskId from, double bytes);
+  static Event recv_any(double bytes);
+  static Event isend(TaskId to, double bytes);
+  static Event irecv(TaskId from, double bytes);
+  static Event wait_all();
+  static Event barrier();
+};
+
+/// One task's program: the ordered list of its events.
+using TaskProgram = std::vector<Event>;
+
+/// A traced application: one program per MPI task (index == task id).
+class AppTrace {
+ public:
+  AppTrace() = default;
+  explicit AppTrace(int num_tasks);
+
+  [[nodiscard]] int num_tasks() const { return static_cast<int>(programs_.size()); }
+  [[nodiscard]] const TaskProgram& program(TaskId t) const;
+  [[nodiscard]] TaskProgram& program(TaskId t);
+
+  /// Append an event to task `t`'s program.
+  void push(TaskId t, Event e);
+
+  /// Append a barrier to every task.
+  void push_barrier_all();
+
+  /// Totals, for reporting.
+  [[nodiscard]] double total_compute_seconds() const;
+  [[nodiscard]] double total_bytes_sent() const;
+  [[nodiscard]] size_t total_events() const;
+
+  /// Sanity-check the trace: every send must have a matching receive
+  /// (by task pair and order-insensitive multiset of sizes), barriers must
+  /// be consistent. Throws bwshare::Error when violated.
+  void validate() const;
+
+ private:
+  std::vector<TaskProgram> programs_;
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+}  // namespace bwshare::sim

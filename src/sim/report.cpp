@@ -1,0 +1,48 @@
+#include "sim/report.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace bwshare::sim {
+
+std::string render_task_table(const SimResult& result) {
+  TextTable t({"task", "finish", "compute", "send-blk", "recv-blk",
+               "barrier", "sends", "recvs"});
+  for (size_t i = 0; i < result.tasks.size(); ++i) {
+    const auto& s = result.tasks[i];
+    t.add_row({strformat("%zu", i), human_seconds(s.finish_time),
+               human_seconds(s.compute_seconds),
+               human_seconds(s.send_blocked_seconds),
+               human_seconds(s.recv_blocked_seconds),
+               human_seconds(s.barrier_wait_seconds),
+               strformat("%d", s.sends), strformat("%d", s.recvs)});
+  }
+  return t.render();
+}
+
+std::string render_comm_table(const SimResult& result, size_t max_rows) {
+  TextTable t({"src", "dst", "bytes", "start", "finish", "penalty"});
+  size_t rows = 0;
+  for (const auto& c : result.comms) {
+    if (max_rows != 0 && rows++ >= max_rows) break;
+    t.add_row({strformat("%d@n%d", c.src_task, c.src_node),
+               strformat("%d@n%d", c.dst_task, c.dst_node),
+               human_bytes(c.bytes), human_seconds(c.start),
+               human_seconds(c.finish), strformat("%.3f", c.penalty)});
+  }
+  return t.render();
+}
+
+std::string render_summary(const SimResult& result) {
+  double bytes = 0.0;
+  for (const auto& c : result.comms) bytes += c.bytes;
+  std::ostringstream os;
+  os << "makespan " << human_seconds(result.makespan) << ", "
+     << result.comms.size() << " communications moving " << human_bytes(bytes)
+     << ", average penalty " << strformat("%.3f", result.average_penalty());
+  return os.str();
+}
+
+}  // namespace bwshare::sim

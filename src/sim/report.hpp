@@ -1,0 +1,23 @@
+// Human-readable summaries of simulation results — the §VI-A simulator's
+// outputs: per-task durations, total time, conflict kinds, average penalty
+// and communication sizes.
+#pragma once
+
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace bwshare::sim {
+
+/// Per-task table: finish, compute, send-blocked, recv-blocked, barrier.
+[[nodiscard]] std::string render_task_table(const SimResult& result);
+
+/// Per-communication table: endpoints, size, start/finish, penalty.
+/// Lists at most `max_rows` rows (0 = all).
+[[nodiscard]] std::string render_comm_table(const SimResult& result,
+                                            size_t max_rows = 0);
+
+/// One-paragraph summary (makespan, average penalty, bytes moved).
+[[nodiscard]] std::string render_summary(const SimResult& result);
+
+}  // namespace bwshare::sim

@@ -1,0 +1,92 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::sim {
+
+std::string to_string(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kRoundRobinNode: return "RRN";
+    case SchedulingPolicy::kRoundRobinProcessor: return "RRP";
+    case SchedulingPolicy::kRandom: return "Random";
+  }
+  return "?";
+}
+
+SchedulingPolicy scheduling_policy_from_string(const std::string& name) {
+  if (name == "RRN" || name == "rrn") return SchedulingPolicy::kRoundRobinNode;
+  if (name == "RRP" || name == "rrp")
+    return SchedulingPolicy::kRoundRobinProcessor;
+  if (name == "Random" || name == "random") return SchedulingPolicy::kRandom;
+  BWS_THROW("unknown scheduling policy '" + name + "'");
+}
+
+Placement::Placement(std::vector<topo::NodeId> node_of_task)
+    : node_of_task_(std::move(node_of_task)) {
+  for (topo::NodeId n : node_of_task_)
+    BWS_CHECK(n >= 0, "placement references a negative node id");
+}
+
+topo::NodeId Placement::node_of(int task) const {
+  BWS_CHECK(task >= 0 && task < num_tasks(),
+            strformat("task %d out of range [0,%d)", task, num_tasks()));
+  return node_of_task_[static_cast<size_t>(task)];
+}
+
+Placement make_placement(SchedulingPolicy policy,
+                         const topo::ClusterSpec& cluster, int num_tasks,
+                         uint64_t seed) {
+  BWS_CHECK(num_tasks >= 1, "need at least one task");
+  BWS_CHECK(num_tasks <= cluster.total_cores(),
+            strformat("cluster has %d cores for %d tasks",
+                      cluster.total_cores(), num_tasks));
+
+  // One slot per core, in node order: [n0,n0,n1,n1,...] for 2-core nodes.
+  std::vector<topo::NodeId> slots;
+  slots.reserve(static_cast<size_t>(cluster.total_cores()));
+  for (topo::NodeId n = 0; n < cluster.num_nodes(); ++n)
+    for (int c = 0; c < cluster.node(n).cores; ++c) slots.push_back(n);
+
+  std::vector<topo::NodeId> node_of(static_cast<size_t>(num_tasks));
+  switch (policy) {
+    case SchedulingPolicy::kRoundRobinNode: {
+      // Cycle over nodes; a node accepts as many rounds as it has cores.
+      std::vector<int> used(static_cast<size_t>(cluster.num_nodes()), 0);
+      int t = 0;
+      while (t < num_tasks) {
+        bool placed_any = false;
+        for (topo::NodeId n = 0; n < cluster.num_nodes() && t < num_tasks;
+             ++n) {
+          if (used[static_cast<size_t>(n)] >= cluster.node(n).cores) continue;
+          ++used[static_cast<size_t>(n)];
+          node_of[static_cast<size_t>(t++)] = n;
+          placed_any = true;
+        }
+        BWS_ASSERT(placed_any, "round-robin placement made no progress");
+      }
+      break;
+    }
+    case SchedulingPolicy::kRoundRobinProcessor: {
+      for (int t = 0; t < num_tasks; ++t)
+        node_of[static_cast<size_t>(t)] = slots[static_cast<size_t>(t)];
+      break;
+    }
+    case SchedulingPolicy::kRandom: {
+      Rng rng(seed);
+      // Fisher-Yates over the core slots, then take the first num_tasks.
+      for (size_t i = slots.size() - 1; i > 0; --i)
+        std::swap(slots[i], slots[rng.below(i + 1)]);
+      for (int t = 0; t < num_tasks; ++t)
+        node_of[static_cast<size_t>(t)] = slots[static_cast<size_t>(t)];
+      break;
+    }
+  }
+  return Placement(std::move(node_of));
+}
+
+}  // namespace bwshare::sim

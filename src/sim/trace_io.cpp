@@ -1,0 +1,129 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::sim {
+
+std::string write_trace(const AppTrace& trace) {
+  std::ostringstream os;
+  os << "tasks " << trace.num_tasks() << "\n";
+  for (TaskId t = 0; t < trace.num_tasks(); ++t) {
+    for (const auto& e : trace.program(t)) {
+      switch (e.kind) {
+        case EventKind::kCompute:
+          os << t << " compute " << strformat("%.9g", e.seconds) << "\n";
+          break;
+        case EventKind::kSend:
+        case EventKind::kIsend:
+          os << t << (e.kind == EventKind::kSend ? " send " : " isend ")
+             << e.peer << " " << strformat("%.0f", e.bytes) << "\n";
+          break;
+        case EventKind::kRecv:
+        case EventKind::kIrecv:
+          os << t << (e.kind == EventKind::kRecv ? " recv " : " irecv ");
+          if (e.peer == kAnySource)
+            os << "any";
+          else
+            os << e.peer;
+          os << " " << strformat("%.0f", e.bytes) << "\n";
+          break;
+        case EventKind::kWaitAll:
+          os << t << " waitall\n";
+          break;
+        case EventKind::kBarrier:
+          os << t << " barrier\n";
+          break;
+      }
+    }
+  }
+  return os.str();
+}
+
+AppTrace read_trace(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  AppTrace trace;
+  bool have_tasks = false;
+
+  auto fail = [&](const std::string& msg) -> void {
+    BWS_THROW(strformat("trace line %d: %s", line_no, msg.c_str()));
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto fields = split_ws(line);
+    if (fields.empty()) continue;
+
+    if (fields[0] == "tasks") {
+      if (have_tasks) fail("duplicate 'tasks' directive");
+      if (fields.size() != 2) fail("'tasks' takes one argument");
+      const int n = std::atoi(fields[1].c_str());
+      if (n < 1) fail("task count must be >= 1");
+      trace = AppTrace(n);
+      have_tasks = true;
+      continue;
+    }
+    if (!have_tasks) fail("'tasks' directive must come first");
+
+    const int t = std::atoi(fields[0].c_str());
+    if (t < 0 || t >= trace.num_tasks()) fail("task id out of range");
+    if (fields.size() < 2) fail("missing event kind");
+    const std::string& kind = fields[1];
+    if (kind == "compute") {
+      if (fields.size() != 3) fail("compute takes a duration");
+      trace.push(t, Event::compute(std::atof(fields[2].c_str())));
+    } else if (kind == "send" || kind == "isend") {
+      if (fields.size() != 4) fail(kind + " takes peer and size");
+      const Event e = kind == "send"
+                          ? Event::send(std::atoi(fields[2].c_str()),
+                                        std::atof(fields[3].c_str()))
+                          : Event::isend(std::atoi(fields[2].c_str()),
+                                         std::atof(fields[3].c_str()));
+      trace.push(t, e);
+    } else if (kind == "recv" || kind == "irecv") {
+      if (fields.size() != 4) fail(kind + " takes peer and size");
+      const TaskId peer =
+          fields[2] == "any" ? kAnySource : std::atoi(fields[2].c_str());
+      const Event e = kind == "recv"
+                          ? Event::recv(peer, std::atof(fields[3].c_str()))
+                          : Event::irecv(peer, std::atof(fields[3].c_str()));
+      trace.push(t, e);
+    } else if (kind == "waitall") {
+      trace.push(t, Event::wait_all());
+    } else if (kind == "barrier") {
+      trace.push(t, Event::barrier());
+    } else {
+      fail("unknown event kind '" + kind + "'");
+    }
+  }
+  BWS_CHECK(have_tasks, "trace has no 'tasks' directive");
+  return trace;
+}
+
+void write_trace_file(const AppTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  BWS_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << write_trace(trace);
+  BWS_CHECK(out.good(), "error writing '" + path + "'");
+}
+
+AppTrace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  BWS_CHECK(in.good(), "cannot open trace file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return read_trace(buf.str());
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+}  // namespace bwshare::sim

@@ -1,0 +1,26 @@
+// Text serialization of application traces (our MPE-substitute; the paper
+// instrumented MPICH's MPE library to extract HPL's events, §VI-D).
+//
+// Format: one statement per line, '#' comments:
+//   tasks 4
+//   0 compute 0.52
+//   0 send 1 4000000
+//   1 recv 0 4000000
+//   1 recv any 4000000
+//   * barrier            # every task
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/events.hpp"
+
+namespace bwshare::sim {
+
+[[nodiscard]] std::string write_trace(const AppTrace& trace);
+[[nodiscard]] AppTrace read_trace(std::string_view text);
+
+void write_trace_file(const AppTrace& trace, const std::string& path);
+[[nodiscard]] AppTrace read_trace_file(const std::string& path);
+
+}  // namespace bwshare::sim

@@ -1,0 +1,40 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::stats {
+
+Interval bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    size_t resamples, double level, uint64_t seed) {
+  BWS_CHECK(!xs.empty(), "bootstrap over empty series");
+  BWS_CHECK(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+  Rng rng(seed);
+  std::vector<double> resample(xs.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (size_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample) v = xs[rng.below(xs.size())];
+    estimates.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  Interval out;
+  out.point = statistic(xs);
+  out.low = percentile(estimates, alpha * 100.0);
+  out.high = percentile(estimates, (1.0 - alpha) * 100.0);
+  return out;
+}
+
+Interval bootstrap_mean_ci(std::span<const double> xs, size_t resamples,
+                           double level, uint64_t seed) {
+  return bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, resamples, level,
+      seed);
+}
+
+}  // namespace bwshare::stats

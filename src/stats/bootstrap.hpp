@@ -1,0 +1,32 @@
+// Bootstrap confidence intervals for experiment summaries. The paper reports
+// single-run E_abs values; our substrate is stochastic (packet jitter, random
+// placement), so bench binaries report a mean with a percentile-bootstrap CI.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace bwshare::stats {
+
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+  double point = 0.0;
+};
+
+/// Percentile bootstrap CI for `statistic` over `xs`.
+/// `level` is the two-sided confidence level, e.g. 0.95.
+[[nodiscard]] Interval bootstrap_ci(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)>& statistic,
+    size_t resamples = 1000, double level = 0.95, uint64_t seed = 42);
+
+/// Convenience: bootstrap CI of the mean.
+[[nodiscard]] Interval bootstrap_mean_ci(std::span<const double> xs,
+                                         size_t resamples = 1000,
+                                         double level = 0.95,
+                                         uint64_t seed = 42);
+
+}  // namespace bwshare::stats

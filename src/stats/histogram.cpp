@@ -1,0 +1,54 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::stats {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  BWS_CHECK(hi > lo, "histogram range must be non-empty");
+  BWS_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  long idx = static_cast<long>((x - lo_) / width);
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_low(size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_high(size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+std::string Histogram::render(int width) const {
+  const size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) * width);
+    os << strformat("  [%8.3g, %8.3g) %6zu ", bin_low(i), bin_high(i),
+                    counts_[i])
+       << std::string(static_cast<size_t>(bar), '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bwshare::stats

@@ -1,0 +1,44 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::stats {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  BWS_CHECK(x.size() == y.size(), "fit_linear: size mismatch");
+  BWS_CHECK(x.size() >= 2, "fit_linear needs at least two points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  BWS_CHECK(sxx > 0.0, "fit_linear needs at least two distinct x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double fit_proportional(std::span<const double> x, std::span<const double> y) {
+  BWS_CHECK(x.size() == y.size(), "fit_proportional: size mismatch");
+  BWS_CHECK(!x.empty(), "fit_proportional needs at least one point");
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += x[i] * y[i];
+    sxx += x[i] * x[i];
+  }
+  BWS_CHECK(sxx > 0.0, "fit_proportional needs a nonzero x");
+  return sxy / sxx;
+}
+
+}  // namespace bwshare::stats

@@ -1,0 +1,27 @@
+// Ordinary least squares fits. The GigE model's β parameter is estimated as
+// the slope of penalty vs. conflict degree through the origin (§V-A); the
+// general linear fit backs the LogGP-style baseline's (latency, 1/bandwidth)
+// calibration.
+#pragma once
+
+#include <span>
+
+namespace bwshare::stats {
+
+/// Result of a simple linear regression y ≈ intercept + slope·x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination.
+  double r_squared = 0.0;
+};
+
+/// OLS fit of y = a + b·x. Requires at least two distinct x values.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// OLS fit of y = b·x (regression through the origin).
+[[nodiscard]] double fit_proportional(std::span<const double> x,
+                                      std::span<const double> y);
+
+}  // namespace bwshare::stats

@@ -1,0 +1,90 @@
+#include "topo/fattree.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::topo {
+
+FatTree::FatTree(const Params& params) : params_(params) {
+  BWS_CHECK(params_.num_hosts >= 1, "fat tree needs at least one host");
+  BWS_CHECK(params_.radix >= 1, "fat tree radix must be >= 1");
+  BWS_CHECK(params_.host_bandwidth > 0.0, "host bandwidth must be positive");
+  BWS_CHECK(params_.num_core >= 1, "fat tree needs at least one core switch");
+  num_edges_ = (params_.num_hosts + params_.radix - 1) / params_.radix;
+
+  links_.reserve(static_cast<size_t>(2 * params_.num_hosts +
+                                     2 * num_edges_ * params_.num_core));
+  for (int h = 0; h < params_.num_hosts; ++h)
+    links_.push_back(
+        {strformat("host%d.up", h), params_.host_bandwidth});
+  for (int h = 0; h < params_.num_hosts; ++h)
+    links_.push_back(
+        {strformat("host%d.down", h), params_.host_bandwidth});
+  edge_up_base_ = static_cast<LinkId>(links_.size());
+  const double uplink_bw = params_.host_bandwidth * params_.uplink_factor;
+  for (int e = 0; e < num_edges_; ++e)
+    for (int c = 0; c < params_.num_core; ++c)
+      links_.push_back({strformat("edge%d->core%d", e, c), uplink_bw});
+  edge_down_base_ = static_cast<LinkId>(links_.size());
+  for (int e = 0; e < num_edges_; ++e)
+    for (int c = 0; c < params_.num_core; ++c)
+      links_.push_back({strformat("core%d->edge%d", c, e), uplink_bw});
+}
+
+FatTree FatTree::for_cluster(const ClusterSpec& cluster, int radix) {
+  Params p;
+  p.num_hosts = cluster.num_nodes();
+  p.radix = radix;
+  p.host_bandwidth = cluster.network().link_bandwidth;
+  p.uplink_factor = 4.0;
+  p.num_core = 2;
+  return FatTree(p);
+}
+
+const Link& FatTree::link(LinkId id) const {
+  BWS_CHECK(id >= 0 && id < num_links(),
+            strformat("link id %d out of range [0,%d)", id, num_links()));
+  return links_[static_cast<size_t>(id)];
+}
+
+LinkId FatTree::host_uplink(NodeId h) const {
+  BWS_CHECK(h >= 0 && h < params_.num_hosts, "host out of range");
+  return h;
+}
+
+LinkId FatTree::host_downlink(NodeId h) const {
+  BWS_CHECK(h >= 0 && h < params_.num_hosts, "host out of range");
+  return params_.num_hosts + h;
+}
+
+int FatTree::edge_of(NodeId h) const {
+  BWS_CHECK(h >= 0 && h < params_.num_hosts, "host out of range");
+  return h / params_.radix;
+}
+
+LinkId FatTree::edge_up(int edge, int core) const {
+  return edge_up_base_ + edge * params_.num_core + core;
+}
+
+LinkId FatTree::edge_down(int edge, int core) const {
+  return edge_down_base_ + edge * params_.num_core + core;
+}
+
+int FatTree::core_for(int src_edge, int dst_edge) const {
+  // Deterministic spreading: same pair always uses the same core switch.
+  return (src_edge * 31 + dst_edge * 17) % params_.num_core;
+}
+
+std::vector<LinkId> FatTree::route(NodeId src, NodeId dst) const {
+  BWS_CHECK(src >= 0 && src < params_.num_hosts, "src host out of range");
+  BWS_CHECK(dst >= 0 && dst < params_.num_hosts, "dst host out of range");
+  if (src == dst) return {};
+  const int se = edge_of(src);
+  const int de = edge_of(dst);
+  if (se == de) return {host_uplink(src), host_downlink(dst)};
+  const int core = core_for(se, de);
+  return {host_uplink(src), edge_up(se, core), edge_down(de, core),
+          host_downlink(dst)};
+}
+
+}  // namespace bwshare::topo

@@ -1,0 +1,74 @@
+// Fat-tree topology and routing. All three clusters in the paper use a fat
+// tree (§IV-C); we build a two-level folded tree (edge + core switches) with
+// a configurable oversubscription factor and deterministic core selection.
+//
+// Every physical cable is represented as two *directed* links so the fluid
+// allocator can account full-duplex capacity per direction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/cluster.hpp"
+
+namespace bwshare::topo {
+
+using LinkId = int;
+
+struct Link {
+  std::string name;
+  double capacity = 0.0;  // bytes/s for this direction
+};
+
+/// Two-level fat tree: hosts attach to edge switches; edge switches attach to
+/// every core switch. With `uplink_factor >= radix` the tree is non-blocking.
+class FatTree {
+ public:
+  struct Params {
+    int num_hosts = 8;
+    /// Hosts per edge switch.
+    int radix = 8;
+    /// Host link capacity, bytes/s, per direction.
+    double host_bandwidth = 0.0;
+    /// Capacity of each edge<->core cable as a multiple of host_bandwidth.
+    double uplink_factor = 4.0;
+    /// Number of core switches.
+    int num_core = 2;
+  };
+
+  explicit FatTree(const Params& params);
+
+  /// Build a fat tree matching a cluster description (one host per node).
+  static FatTree for_cluster(const ClusterSpec& cluster, int radix = 16);
+
+  [[nodiscard]] int num_hosts() const { return params_.num_hosts; }
+  [[nodiscard]] int num_links() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] const Link& link(LinkId id) const;
+
+  /// Directed link carrying traffic from host `h` into the network.
+  [[nodiscard]] LinkId host_uplink(NodeId h) const;
+  /// Directed link delivering traffic from the network to host `h`.
+  [[nodiscard]] LinkId host_downlink(NodeId h) const;
+
+  /// Ordered directed links traversed by a message src -> dst.
+  /// src == dst yields an empty route (intra-node traffic bypasses the NIC).
+  [[nodiscard]] std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+  /// Edge switch a host attaches to.
+  [[nodiscard]] int edge_of(NodeId h) const;
+  [[nodiscard]] int num_edges() const { return num_edges_; }
+
+ private:
+  [[nodiscard]] LinkId edge_up(int edge, int core) const;
+  [[nodiscard]] LinkId edge_down(int edge, int core) const;
+  [[nodiscard]] int core_for(int src_edge, int dst_edge) const;
+
+  Params params_;
+  int num_edges_ = 0;
+  std::vector<Link> links_;
+  // Link layout: [host up | host down | edge-up(e,c) | edge-down(e,c)].
+  LinkId edge_up_base_ = 0;
+  LinkId edge_down_base_ = 0;
+};
+
+}  // namespace bwshare::topo

@@ -1,0 +1,77 @@
+// Interconnect technologies and their calibration constants.
+//
+// The paper studies three interconnects (§III): Gigabit Ethernet (TCP +
+// IEEE 802.3x pause frames), Myrinet 2000 (cut-through wormhole with a
+// Stop & Go NIC protocol) and InfiniBand InfiniHost III (credit-based link
+// flow control). `NetworkCalibration` captures the handful of constants our
+// substrate needs to reproduce each card's measured sharing behaviour
+// (paper Fig. 2); they are fixed once here and reused by every experiment.
+#pragma once
+
+#include <string>
+
+namespace bwshare::topo {
+
+enum class NetworkTech {
+  kGigabitEthernet,
+  kMyrinet2000,
+  kInfinibandInfinihost3,
+};
+
+[[nodiscard]] std::string to_string(NetworkTech tech);
+[[nodiscard]] NetworkTech network_tech_from_string(const std::string& name);
+
+/// Flow-control behaviour class (paper §III).
+enum class FlowControlKind {
+  kTcpPauseFrames,   // GigE: TCP sliding window + 802.3x pause
+  kStopAndGo,        // Myrinet: cut-through wormhole, Stop & Go
+  kCreditBased,      // InfiniBand: credits per virtual lane
+};
+
+/// Constants describing one interconnect generation.
+struct NetworkCalibration {
+  NetworkTech tech = NetworkTech::kGigabitEthernet;
+  FlowControlKind flow_control = FlowControlKind::kTcpPauseFrames;
+
+  /// Raw signalling capacity of a host link, bytes/s (one direction).
+  double link_bandwidth = 0.0;
+  /// Fraction of the link a *single* stream achieves (host/MPI overheads).
+  /// This is what makes the paper's GigE penalties 1.5/2.25 rather than
+  /// 2/3: one TCP stream only reaches ~75% of the wire, while several
+  /// streams together saturate it.
+  double single_stream_efficiency = 1.0;
+  /// Combined TX+RX host capacity as a multiple of link_bandwidth. 1.0 means
+  /// the host memory/IO path behaves half-duplex under bidirectional load
+  /// (observed on the paper's GigE nodes); 2.0 means full duplex.
+  double host_duplex_factor = 2.0;
+  /// Relative weight of an incoming flow when the host duplex bus is
+  /// saturated (>1 favours reception, as Stop&Go and credit FC do).
+  double rx_bus_weight = 1.0;
+  /// One-way small-message latency, seconds.
+  double latency = 0.0;
+  /// Maximum transmission unit, bytes (packet-level simulators).
+  double mtu = 1500.0;
+  /// Intra-node (shared memory) copy bandwidth, bytes/s.
+  double shm_bandwidth = 0.0;
+
+  /// Effective bandwidth of a single unconflicted stream, bytes/s.
+  [[nodiscard]] double reference_bandwidth() const {
+    return link_bandwidth * single_stream_efficiency;
+  }
+  /// Time for one unconflicted message of `bytes`, the paper's T_ref.
+  [[nodiscard]] double reference_time(double bytes) const {
+    return latency + bytes / reference_bandwidth();
+  }
+};
+
+/// Calibrations matching the paper's three clusters (§IV-C):
+///  - IBM eServer 326, BCM5704 GigE, MPICH
+///  - IBM eServer 325, Myrinet 2000, MPI MX
+///  - BULL Novascale, InfiniHost III, MPIBULL2
+[[nodiscard]] NetworkCalibration gigabit_ethernet_calibration();
+[[nodiscard]] NetworkCalibration myrinet2000_calibration();
+[[nodiscard]] NetworkCalibration infiniband_calibration();
+
+[[nodiscard]] NetworkCalibration calibration_for(NetworkTech tech);
+
+}  // namespace bwshare::topo

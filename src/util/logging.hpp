@@ -1,0 +1,51 @@
+// Minimal leveled logger. Writes to stderr; level is settable globally and
+// via the BWSHARE_LOG environment variable (trace|debug|info|warn|error).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bwshare {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Parse "debug", "info", ... (case-insensitive). Throws on unknown names.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace bwshare
+
+#define BWS_LOG(level)                                      \
+  if (::bwshare::log_level() <= (level))                    \
+  ::bwshare::detail::LogMessage(level)
+
+#define BWS_TRACE BWS_LOG(::bwshare::LogLevel::kTrace)
+#define BWS_DEBUG BWS_LOG(::bwshare::LogLevel::kDebug)
+#define BWS_INFO BWS_LOG(::bwshare::LogLevel::kInfo)
+#define BWS_WARN BWS_LOG(::bwshare::LogLevel::kWarn)
+#define BWS_ERROR BWS_LOG(::bwshare::LogLevel::kError)

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation (splitmix64 seeding +
+// xoshiro256**). All stochastic behaviour in bwshare (random task placement,
+// packet jitter, synthetic workloads) flows through Rng so experiments are
+// reproducible from a single seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace bwshare {
+
+/// splitmix64 step; used to expand a single seed into a full state.
+[[nodiscard]] constexpr uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit constexpr Rng(uint64_t seed = 0x2545f4914f6cdd1dULL) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  constexpr uint64_t operator()() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  constexpr uint64_t below(uint64_t n) {
+    if (n == 0) return 0;
+    const uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    while (true) {
+      const uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    while (true) {
+      const double u = uniform(-1.0, 1.0);
+      const double v = uniform(-1.0, 1.0);
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+      }
+    }
+  }
+
+  /// Exponential with the given rate parameter (mean 1/rate).
+  double exponential(double rate) {
+    return -std::log1p(-uniform()) / rate;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4]{};
+};
+
+}  // namespace bwshare

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BWS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  BWS_CHECK(cells.size() == headers_.size(),
+            strformat("row has %zu cells, table has %zu columns", cells.size(),
+                      headers_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(strformat("%.*f", precision, v));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render(int indent) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const std::string margin(static_cast<size_t>(indent), ' ');
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << margin;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size())
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  size_t total = margin.size();
+  for (size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << margin << std::string(total - margin.size(), '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  BWS_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << to_csv();
+  BWS_CHECK(out.good(), "error while writing '" + path + "'");
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << "== " << title << " " << std::string(std::max<size_t>(
+      4, 76 - title.size()), '=') << '\n';
+}
+
+}  // namespace bwshare

@@ -1,0 +1,52 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bwshare::eval {
+namespace {
+
+TEST(Metrics, RelativeErrorSignConvention) {
+  // Positive = pessimistic (prediction too slow), §VI-B.
+  EXPECT_NEAR(relative_error(1.1, 1.0), 10.0, 1e-9);
+  EXPECT_NEAR(relative_error(0.9, 1.0), -10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 1.0), 0.0);
+}
+
+TEST(Metrics, PaperMk1Example) {
+  // Fig 7 MK1: Tm=0.087, Tp=0.089 -> E_rel = 2.3%.
+  EXPECT_NEAR(relative_error(0.089, 0.087), 2.3, 0.01);
+  // e: Tm=0.037, Tp=0.035 -> -5.4%.
+  EXPECT_NEAR(relative_error(0.035, 0.037), -5.4, 0.01);
+}
+
+TEST(Metrics, MeanAbsoluteErrorAvoidsCancellation) {
+  const std::vector<double> predicted{1.1, 0.9};
+  const std::vector<double> measured{1.0, 1.0};
+  // Relative errors +10 and -10 cancel; E_abs must not.
+  EXPECT_NEAR(mean_absolute_error(predicted, measured), 10.0, 1e-9);
+}
+
+TEST(Metrics, PaperMk1AverageReproduced) {
+  // Fig 7 MK1 table: errors 2.3, 2.3, 1.4, 1.9, -5.4, 3.9, 1.4 -> Eabs 2.6.
+  const std::vector<double> tm{0.087, 0.087, 0.070, 0.052, 0.037, 0.051, 0.070};
+  const std::vector<double> tp{0.089, 0.089, 0.071, 0.053, 0.035, 0.053, 0.071};
+  EXPECT_NEAR(mean_absolute_error(tp, tm), 2.6, 0.15);
+}
+
+TEST(Metrics, TaskError) {
+  EXPECT_DOUBLE_EQ(task_absolute_error(0.8, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(task_absolute_error(1.2, 1.0), 20.0);
+}
+
+TEST(Metrics, Validation) {
+  EXPECT_THROW((void)relative_error(1.0, 0.0), Error);
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(relative_errors(a, b), Error);
+  EXPECT_THROW((void)mean_absolute_error({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::eval

@@ -1,0 +1,130 @@
+// Unit tests for the weighted max-min allocator.
+#include "flowsim/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bwshare::flowsim {
+namespace {
+
+TEST(MaxMin, SingleFlowTakesItsCap) {
+  AllocationProblem p;
+  p.num_flows = 1;
+  p.caps = {10.0};
+  p.resources = {{100.0, {0}}};
+  EXPECT_EQ(max_min_rates(p), std::vector<double>{10.0});
+}
+
+TEST(MaxMin, FairSplitOnSharedLink) {
+  AllocationProblem p;
+  p.num_flows = 3;
+  p.caps = {100.0, 100.0, 100.0};
+  p.resources = {{90.0, {0, 1, 2}}};
+  const auto r = max_min_rates(p);
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 30.0);
+}
+
+TEST(MaxMin, CapLimitedFlowLeavesHeadroom) {
+  // Flow 0 capped at 10; the other two split the remaining 80.
+  AllocationProblem p;
+  p.num_flows = 3;
+  p.caps = {10.0, 100.0, 100.0};
+  p.resources = {{90.0, {0, 1, 2}}};
+  const auto r = max_min_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+  EXPECT_DOUBLE_EQ(r[1], 40.0);
+  EXPECT_DOUBLE_EQ(r[2], 40.0);
+}
+
+TEST(MaxMin, MultiBottleneck) {
+  // Classic parking-lot: flow 0 crosses both links; flows 1,2 one each.
+  AllocationProblem p;
+  p.num_flows = 3;
+  p.caps = {100.0, 100.0, 100.0};
+  p.resources = {{60.0, {0, 1}}, {60.0, {0, 2}}};
+  const auto r = max_min_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], 30.0);
+  EXPECT_DOUBLE_EQ(r[1], 30.0);
+  EXPECT_DOUBLE_EQ(r[2], 30.0);
+}
+
+TEST(MaxMin, UnevenBottlenecks) {
+  // Flow 0 shares link A (30) with flow 1 and link B (100) with flow 2.
+  // A binds first: flows 0,1 get 15. Flow 2 then grows to 85.
+  AllocationProblem p;
+  p.num_flows = 3;
+  p.caps = {1000.0, 1000.0, 1000.0};
+  p.resources = {{30.0, {0, 1}}, {100.0, {0, 2}}};
+  const auto r = max_min_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], 15.0);
+  EXPECT_DOUBLE_EQ(r[1], 15.0);
+  EXPECT_DOUBLE_EQ(r[2], 85.0);
+}
+
+TEST(MaxMin, WeightsSkewTheSplit) {
+  AllocationProblem p;
+  p.num_flows = 2;
+  p.weights = {1.0, 3.0};
+  p.caps = {100.0, 100.0};
+  p.resources = {{80.0, {0, 1}}};
+  const auto r = max_min_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], 20.0);
+  EXPECT_DOUBLE_EQ(r[1], 60.0);
+}
+
+TEST(MaxMin, EmptyProblem) {
+  AllocationProblem p;
+  EXPECT_TRUE(max_min_rates(p).empty());
+}
+
+TEST(MaxMin, UnconstrainedFlowIsAnError) {
+  AllocationProblem p;
+  p.num_flows = 1;  // no cap, no resource
+  EXPECT_THROW(max_min_rates(p), Error);
+}
+
+TEST(MaxMin, Validation) {
+  AllocationProblem p;
+  p.num_flows = 1;
+  p.caps = {1.0};
+  p.resources = {{-1.0, {0}}};
+  EXPECT_THROW(max_min_rates(p), Error);
+  p.resources = {{1.0, {5}}};
+  EXPECT_THROW(max_min_rates(p), Error);
+  p.resources.clear();
+  p.weights = {0.0};
+  EXPECT_THROW(max_min_rates(p), Error);
+}
+
+TEST(MaxMin, AllocationIsFeasibleAndMaximal) {
+  // Property: no resource over capacity; every flow pinned by something.
+  AllocationProblem p;
+  p.num_flows = 5;
+  p.caps = {50.0, 50.0, 50.0, 50.0, 50.0};
+  p.resources = {{70.0, {0, 1, 2}}, {60.0, {2, 3}}, {40.0, {3, 4}}};
+  const auto r = max_min_rates(p);
+  // Feasibility.
+  for (const auto& res : p.resources) {
+    double load = 0.0;
+    for (int f : res.members) load += r[static_cast<size_t>(f)];
+    EXPECT_LE(load, res.capacity * (1.0 + 1e-9));
+  }
+  // Maximality: each flow is at its cap or on a saturated resource.
+  for (int f = 0; f < p.num_flows; ++f) {
+    bool pinned = r[static_cast<size_t>(f)] >= 50.0 * (1.0 - 1e-9);
+    for (const auto& res : p.resources) {
+      double load = 0.0;
+      bool member = false;
+      for (int m : res.members) {
+        load += r[static_cast<size_t>(m)];
+        member = member || m == f;
+      }
+      if (member && load >= res.capacity * (1.0 - 1e-9)) pinned = true;
+    }
+    EXPECT_TRUE(pinned) << "flow " << f << " could still grow";
+  }
+}
+
+}  // namespace
+}  // namespace bwshare::flowsim

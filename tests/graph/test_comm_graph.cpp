@@ -1,0 +1,75 @@
+#include "graph/comm_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bwshare::graph {
+namespace {
+
+TEST(CommGraph, AddAndQuery) {
+  CommGraph g;
+  const CommId a = g.add("a", 0, 1, 20e6);
+  const CommId b = g.add("b", 0, 2, 4e6);
+  EXPECT_EQ(g.size(), 2);
+  EXPECT_EQ(g.comm(a).label, "a");
+  EXPECT_DOUBLE_EQ(g.comm(b).bytes, 4e6);
+  EXPECT_EQ(g.num_nodes(), 3);
+}
+
+TEST(CommGraph, FindByLabel) {
+  CommGraph g;
+  g.add("x", 0, 1, 1.0);
+  EXPECT_TRUE(g.find("x").has_value());
+  EXPECT_FALSE(g.find("y").has_value());
+}
+
+TEST(CommGraph, DuplicateLabelRejected) {
+  CommGraph g;
+  g.add("a", 0, 1, 1.0);
+  EXPECT_THROW(g.add("a", 2, 3, 1.0), Error);
+}
+
+TEST(CommGraph, Degrees) {
+  CommGraph g;
+  g.add("a", 0, 1, 1.0);
+  g.add("b", 0, 2, 1.0);
+  g.add("c", 3, 1, 1.0);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(1), 2);
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_EQ(g.delta_o(*g.find("a")), 2);
+  EXPECT_EQ(g.delta_i(*g.find("a")), 2);
+  EXPECT_EQ(g.delta_i(*g.find("b")), 1);
+}
+
+TEST(CommGraph, IntraNodeExcludedFromDegrees) {
+  CommGraph g;
+  g.add("shm", 1, 1, 1.0);
+  g.add("a", 1, 2, 1.0);
+  EXPECT_EQ(g.out_degree(1), 1);  // shm does not count
+  EXPECT_TRUE(g.is_intra_node(*g.find("shm")));
+  EXPECT_FALSE(g.is_intra_node(*g.find("a")));
+}
+
+TEST(CommGraph, SameSourceAndDestinationSets) {
+  CommGraph g;
+  g.add("a", 0, 1, 1.0);
+  g.add("b", 0, 2, 1.0);
+  g.add("c", 3, 1, 1.0);
+  const auto co = g.same_source(*g.find("a"));
+  EXPECT_EQ(co.size(), 2u);  // a and b
+  const auto ci = g.same_destination(*g.find("a"));
+  EXPECT_EQ(ci.size(), 2u);  // a and c
+}
+
+TEST(CommGraph, Validation) {
+  CommGraph g;
+  EXPECT_THROW(g.add("", 0, 1, 1.0), Error);
+  EXPECT_THROW(g.add("a", -1, 1, 1.0), Error);
+  EXPECT_THROW(g.add("a", 0, 1, -5.0), Error);
+  EXPECT_THROW(g.comm(0), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::graph

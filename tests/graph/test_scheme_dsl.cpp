@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "graph/scheme_lexer.hpp"
+#include "graph/scheme_parser.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace bwshare::graph {
+namespace {
+
+TEST(SchemeLexer, BasicTokens) {
+  const auto tokens = tokenize_scheme("comm a 0 -> 1 size 20M");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "comm");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kArrow);
+  EXPECT_EQ(tokens[6].text, "20M");
+}
+
+TEST(SchemeLexer, CommentsAndBlankLinesIgnored) {
+  const auto tokens = tokenize_scheme("# header\n\n\ncomm a 0 -> 1\n# tail");
+  EXPECT_EQ(tokens[0].text, "comm");
+}
+
+TEST(SchemeLexer, StringsAndLineNumbers) {
+  const auto tokens = tokenize_scheme("scheme \"my scheme\"\ncomm a 0 -> 1");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "my scheme");
+  EXPECT_EQ(tokens[1].line, 1);
+  // 'comm' is on line 2.
+  const auto it = std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+    return t.text == "comm";
+  });
+  ASSERT_NE(it, tokens.end());
+  EXPECT_EQ(it->line, 2);
+}
+
+TEST(SchemeLexer, RejectsBadInput) {
+  EXPECT_THROW(tokenize_scheme("comm a 0 -> 1 $"), Error);
+  EXPECT_THROW(tokenize_scheme("scheme \"unterminated"), Error);
+}
+
+TEST(SchemeParser, ParsesFig2S3) {
+  const auto parsed = parse_scheme(R"(
+scheme "fig2/S3"
+size 20M
+comm a 0 -> 1
+comm b 0 -> 2
+comm c 0 -> 3
+)");
+  EXPECT_EQ(parsed.name, "fig2/S3");
+  EXPECT_EQ(parsed.graph.size(), 3);
+  EXPECT_EQ(parsed.declared_nodes, 4);
+  EXPECT_DOUBLE_EQ(parsed.graph.comm(0).bytes, 20e6);
+}
+
+TEST(SchemeParser, PerCommSizeOverride) {
+  const auto parsed = parse_scheme("size 1M\ncomm a 0 -> 1 size 4MiB\ncomm b 0 -> 2");
+  EXPECT_DOUBLE_EQ(parsed.graph.comm(0).bytes, 4.0 * MiB);
+  EXPECT_DOUBLE_EQ(parsed.graph.comm(1).bytes, 1e6);
+}
+
+TEST(SchemeParser, BackArrow) {
+  const auto parsed = parse_scheme("comm a 3 <- 0");
+  EXPECT_EQ(parsed.graph.comm(0).src, 0);
+  EXPECT_EQ(parsed.graph.comm(0).dst, 3);
+}
+
+TEST(SchemeParser, NodesDirectiveValidatesRange) {
+  EXPECT_NO_THROW(parse_scheme("nodes 4\ncomm a 0 -> 3"));
+  EXPECT_THROW(parse_scheme("nodes 2\ncomm a 0 -> 3"), Error);
+}
+
+TEST(SchemeParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_scheme("comm a 0 -> 1\ncomm b 0 ->");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SchemeParser, RejectsUnknownStatement) {
+  EXPECT_THROW(parse_scheme("flurb 3"), Error);
+}
+
+TEST(SchemeParser, RejectsDuplicateLabels) {
+  EXPECT_THROW(parse_scheme("comm a 0 -> 1\ncomm a 0 -> 2"), Error);
+}
+
+TEST(SchemeParser, RoundTripThroughText) {
+  const auto original = parse_scheme(R"(
+scheme "round-trip"
+comm a 0 -> 1 size 1000000
+comm b 2 -> 0 size 500000
+)");
+  const std::string text = to_scheme_text(original.graph, "round-trip");
+  const auto reparsed = parse_scheme(text);
+  ASSERT_EQ(reparsed.graph.size(), original.graph.size());
+  for (CommId i = 0; i < original.graph.size(); ++i) {
+    EXPECT_EQ(reparsed.graph.comm(i).label, original.graph.comm(i).label);
+    EXPECT_EQ(reparsed.graph.comm(i).src, original.graph.comm(i).src);
+    EXPECT_EQ(reparsed.graph.comm(i).dst, original.graph.comm(i).dst);
+    EXPECT_DOUBLE_EQ(reparsed.graph.comm(i).bytes,
+                     original.graph.comm(i).bytes);
+  }
+}
+
+}  // namespace
+}  // namespace bwshare::graph

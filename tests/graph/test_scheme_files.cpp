@@ -1,0 +1,62 @@
+// The shipped .scheme files must parse and match their paper counterparts.
+#include <gtest/gtest.h>
+
+#include "graph/scheme_parser.hpp"
+#include "graph/schemes.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace bwshare::graph {
+namespace {
+
+// The test binary runs from the build tree; data/ sits in the source tree.
+std::string data_path(const std::string& name) {
+  return std::string(BWSHARE_SOURCE_DIR) + "/data/" + name;
+}
+
+TEST(SchemeFiles, Fig2S4MatchesBuiltin) {
+  const auto parsed = parse_scheme_file(data_path("fig2_s4.scheme"));
+  const auto builtin = schemes::fig2_scheme(4);
+  ASSERT_EQ(parsed.graph.size(), builtin.size());
+  for (CommId i = 0; i < builtin.size(); ++i) {
+    EXPECT_EQ(parsed.graph.comm(i).label, builtin.comm(i).label);
+    EXPECT_EQ(parsed.graph.comm(i).src, builtin.comm(i).src);
+    EXPECT_EQ(parsed.graph.comm(i).dst, builtin.comm(i).dst);
+  }
+  EXPECT_EQ(parsed.name, "fig2/S4");
+}
+
+TEST(SchemeFiles, Fig5MatchesBuiltin) {
+  const auto parsed = parse_scheme_file(data_path("fig5_myrinet.scheme"));
+  const auto builtin = schemes::fig5_scheme();
+  ASSERT_EQ(parsed.graph.size(), builtin.size());
+  for (CommId i = 0; i < builtin.size(); ++i) {
+    EXPECT_EQ(parsed.graph.comm(i).src, builtin.comm(i).src);
+    EXPECT_EQ(parsed.graph.comm(i).dst, builtin.comm(i).dst);
+  }
+}
+
+TEST(SchemeFiles, Mk2MatchesBuiltin) {
+  const auto parsed = parse_scheme_file(data_path("mk2_complete.scheme"));
+  const auto builtin = schemes::mk2_complete();
+  ASSERT_EQ(parsed.graph.size(), builtin.size());
+  for (CommId i = 0; i < builtin.size(); ++i) {
+    EXPECT_EQ(parsed.graph.comm(i).src, builtin.comm(i).src);
+    EXPECT_EQ(parsed.graph.comm(i).dst, builtin.comm(i).dst);
+    EXPECT_DOUBLE_EQ(parsed.graph.comm(i).bytes, 4e6);
+  }
+}
+
+TEST(SchemeFiles, MixedSizesUsesOverridesAndBackArrow) {
+  const auto parsed = parse_scheme_file(data_path("mixed_sizes.scheme"));
+  ASSERT_EQ(parsed.graph.size(), 4);
+  EXPECT_DOUBLE_EQ(parsed.graph.comm(0).bytes, 8.0 * MiB);
+  const auto small = parsed.graph.find("small");
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(parsed.graph.comm(*small).src, 4);  // back arrow: 3 <- 4
+  EXPECT_EQ(parsed.graph.comm(*small).dst, 3);
+  EXPECT_DOUBLE_EQ(parsed.graph.comm(*small).bytes, 64.0 * KiB);
+}
+
+}  // namespace
+}  // namespace bwshare::graph

@@ -1,0 +1,116 @@
+// LU factorization correctness and the flop model behind the HPL trace
+// generator.
+#include "hpl/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bwshare::hpl {
+namespace {
+
+TEST(Matrix, Basics) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_THROW(m.at(2, 0), Error);
+  const auto i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i.at(0, 1), 0.0);
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  const auto a = Matrix::random(5, 1);
+  const auto prod = a.multiply(Matrix::identity(5));
+  EXPECT_NEAR(a.max_abs_diff(prod), 0.0, 1e-12);
+}
+
+// Parameterized over (n, block) combinations, including non-dividing blocks.
+class LuTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LuTest, ReconstructionMatchesPivotedInput) {
+  const auto [n, block] = GetParam();
+  const auto a = Matrix::random(n, static_cast<uint64_t>(n * 31 + block));
+  const auto result = blocked_lu(a, block);
+  const auto lu_product = reconstruct(result);
+  const auto pa = apply_pivots(a, result.pivots);
+  EXPECT_LT(lu_product.max_abs_diff(pa), 1e-9 * n)
+      << "n=" << n << " block=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LuTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{4, 2}, std::pair{8, 3},
+                      std::pair{16, 4}, std::pair{16, 16}, std::pair{33, 8},
+                      std::pair{48, 12}, std::pair{64, 120}));
+
+TEST(Lu, BlockSizeDoesNotChangeTheFactors) {
+  const auto a = Matrix::random(24, 9);
+  const auto r1 = blocked_lu(a, 1);
+  const auto r2 = blocked_lu(a, 8);
+  const auto r3 = blocked_lu(a, 24);
+  EXPECT_LT(r1.lu.max_abs_diff(r2.lu), 1e-9);
+  EXPECT_LT(r1.lu.max_abs_diff(r3.lu), 1e-9);
+  EXPECT_EQ(r1.pivots, r2.pivots);
+}
+
+TEST(Lu, SolveRecoversKnownSolution) {
+  const int n = 20;
+  const auto a = Matrix::random(n, 77);
+  std::vector<double> x_true(n);
+  for (int i = 0; i < n; ++i) x_true[static_cast<size_t>(i)] = i - 7.5;
+  // b = A x.
+  std::vector<double> b(n, 0.0);
+  for (int c = 0; c < n; ++c)
+    for (int r = 0; r < n; ++r)
+      b[static_cast<size_t>(r)] += a.at(r, c) * x_true[static_cast<size_t>(c)];
+  const auto result = blocked_lu(a, 4);
+  const auto x = lu_solve(result, b);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(x[static_cast<size_t>(i)], x_true[static_cast<size_t>(i)],
+                1e-8);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix z(4, 4);  // all zeros
+  EXPECT_THROW(blocked_lu(z, 2), Error);
+}
+
+TEST(Lu, CountedFlopsMatchAnalyticTotal) {
+  // The instrumented flop counter and the closed-form 2/3 n^3 model used by
+  // the trace generator must agree (within lower-order terms).
+  for (int n : {16, 32, 64}) {
+    const auto a = Matrix::random(n, 5);
+    const auto result = blocked_lu(a, 8);
+    const double analytic = total_lu_flops(n);
+    const double counted = static_cast<double>(result.flops);
+    EXPECT_NEAR(counted / analytic, 1.0, 0.25) << "n=" << n;
+  }
+}
+
+TEST(Lu, PanelPlusUpdatesSumToTotal) {
+  // Summing the generator's per-iteration flop formulas over all panels
+  // reproduces the full factorization cost.
+  const double n = 480;
+  const double nb = 32;
+  double total = 0.0;
+  for (int k = 0; k * nb < n; ++k) {
+    const double m = n - k * nb;
+    const double cols = std::min(nb, m);
+    total += panel_flops(m, cols);
+    total += update_flops(m - cols, m - cols, cols);
+  }
+  EXPECT_NEAR(total / total_lu_flops(n), 1.0, 0.05);
+}
+
+TEST(Lu, FlopHelpersBasicShape) {
+  EXPECT_GT(panel_flops(100, 8), 0.0);
+  EXPECT_DOUBLE_EQ(panel_flops(1, 1), 0.0);
+  EXPECT_GT(update_flops(100, 100, 8), 2.0 * 100 * 100 * 8 - 1.0);
+  EXPECT_DOUBLE_EQ(total_lu_flops(3), 18.0);
+}
+
+}  // namespace
+}  // namespace bwshare::hpl

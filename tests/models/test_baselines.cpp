@@ -1,0 +1,77 @@
+#include "models/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "graph/schemes.hpp"
+#include "models/registry.hpp"
+#include "topo/network.hpp"
+
+namespace bwshare::models {
+namespace {
+
+TEST(LogGPBaseline, IgnoresSharingEntirely) {
+  const LinearLogGPModel model;
+  for (int fan = 1; fan <= 5; ++fan) {
+    const auto g = graph::schemes::outgoing_fan(fan);
+    for (double p : model.penalties(g)) EXPECT_DOUBLE_EQ(p, 1.0);
+  }
+}
+
+TEST(LogGPBaseline, TimeIsLinearInMessageSize) {
+  LinearLogGPModel::Params params;
+  params.latency = 1e-5;
+  params.overhead = 1e-6;
+  params.gap_per_byte = 1e-8;
+  const LinearLogGPModel model(params);
+  graph::CommGraph g;
+  g.add("small", 0, 1, 1e6);
+  g.add("large", 2, 3, 2e6);
+  const auto cal = topo::gigabit_ethernet_calibration();
+  const auto t = model.predict_times(g, cal);
+  // Doubling the size roughly doubles the G term.
+  const double fixed = params.latency + 2 * params.overhead;
+  // (the "-1" in the G term shifts the ratio by ~1e-6)
+  EXPECT_NEAR((t[1] - fixed) / (t[0] - fixed), 2.0, 1e-5);
+}
+
+TEST(KimLeeBaseline, UsesMaxConflictMultiplicity) {
+  // a:0->1 in a 3-fan: multiplicity 3; add d:4->1 so a's destination sees 2;
+  // a keeps max(3, 2) = 3 while d gets max(1, 2) = 2.
+  const auto g = graph::schemes::fig2_scheme(4);
+  const KimLeeModel model;
+  const auto p = model.penalties(g);
+  const auto id = [&](const char* label) {
+    return static_cast<size_t>(*g.find(label));
+  };
+  EXPECT_DOUBLE_EQ(p[id("a")], 3.0);
+  EXPECT_DOUBLE_EQ(p[id("b")], 3.0);
+  EXPECT_DOUBLE_EQ(p[id("d")], 2.0);
+}
+
+TEST(KimLeeBaseline, NoConflictMeansUnitPenalty) {
+  const auto g = graph::schemes::ring(6);
+  const KimLeeModel model;
+  for (double p : model.penalties(g)) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(Registry, BuildsEveryRegisteredModel) {
+  for (const auto& name : model_names()) {
+    const auto model = make_model(name);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) { EXPECT_THROW(make_model("bogus"), Error); }
+
+TEST(Registry, ModelForTechMatchesPaperAssignment) {
+  EXPECT_EQ(model_for(topo::NetworkTech::kGigabitEthernet)->name(), "gige");
+  EXPECT_EQ(model_for(topo::NetworkTech::kMyrinet2000)->name(), "myrinet");
+  EXPECT_EQ(model_for(topo::NetworkTech::kInfinibandInfinihost3)->name(),
+            "infiniband");
+}
+
+}  // namespace
+}  // namespace bwshare::models

@@ -1,0 +1,73 @@
+// InfiniBand extension-model tests against the paper's fig-2 InfiniHost III
+// column.
+#include "models/infiniband.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "graph/schemes.hpp"
+
+namespace bwshare::models {
+namespace {
+
+TEST(InfinibandModel, SingleCommunication) {
+  const auto g = graph::schemes::outgoing_fan(1);
+  const InfinibandModel model;
+  EXPECT_EQ(model.penalties(g), std::vector<double>{1.0});
+}
+
+TEST(InfinibandModel, Fig2TwoWayFan) {
+  // Paper fig 2 scheme S2: a = b = 1.725.
+  const auto g = graph::schemes::fig2_scheme(2);
+  const InfinibandModel model;
+  for (double p : model.penalties(g)) EXPECT_NEAR(p, 1.725, 0.02);
+}
+
+TEST(InfinibandModel, Fig2ThreeWayFan) {
+  // Paper fig 2 scheme S3: a = b = c = 2.61.
+  const auto g = graph::schemes::fig2_scheme(3);
+  const InfinibandModel model;
+  for (double p : model.penalties(g)) EXPECT_NEAR(p, 2.61, 0.02);
+}
+
+TEST(InfinibandModel, Fig2DuplexConflictScheme5) {
+  // Paper fig 2 scheme S5: outgoing a,b,c ≈ 3.66, incoming e ≈ 2.035.
+  const auto g = graph::schemes::fig2_scheme(5);
+  const InfinibandModel model;
+  const auto p = model.penalties(g);
+  const auto id = [&](const char* label) {
+    return static_cast<size_t>(*g.find(label));
+  };
+  EXPECT_NEAR(p[id("a")], 3.66, 0.05);
+  EXPECT_NEAR(p[id("b")], 3.66, 0.05);
+  EXPECT_NEAR(p[id("c")], 3.66, 0.05);
+  EXPECT_NEAR(p[id("e")], 2.035, 0.05);
+}
+
+TEST(InfinibandModel, SharesLessFairlyThanGigeButBetterThanMyrinet) {
+  // Fig 2's qualitative ordering on a 3-fan: GigE 2.25 < IB 2.61 < Myrinet 3.
+  const auto g = graph::schemes::outgoing_fan(3);
+  const InfinibandModel model;
+  for (double p : model.penalties(g)) {
+    EXPECT_GT(p, 2.25);
+    EXPECT_LT(p, 3.0);
+  }
+}
+
+TEST(InfinibandModel, PenaltyNeverBelowOne) {
+  for (int k = 1; k <= 6; ++k) {
+    const auto g = graph::schemes::fig2_scheme(k);
+    const InfinibandModel model;
+    for (double p : model.penalties(g)) EXPECT_GE(p, 1.0);
+  }
+}
+
+TEST(InfinibandModel, RejectsInvalidParameters) {
+  InfinibandParams bad;
+  bad.beta = -1.0;
+  EXPECT_THROW(InfinibandModel{bad}, Error);
+}
+
+}  // namespace
+}  // namespace bwshare::models

@@ -1,0 +1,132 @@
+// Tests for the maximal-independent-set enumerator underlying the Myrinet
+// model, including exhaustive cross-checks on random graphs.
+#include "models/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace bwshare::models {
+namespace {
+
+MisResult enumerate(const AdjacencyMatrix& g) {
+  return enumerate_maximal_independent_sets(g);
+}
+
+TEST(Mis, EmptyGraphHasOneEmptySet) {
+  const AdjacencyMatrix g(0);
+  const auto result = enumerate(g);
+  ASSERT_EQ(result.sets.size(), 1u);
+  EXPECT_TRUE(result.sets[0].empty());
+}
+
+TEST(Mis, IsolatedVerticesFormOneFullSet) {
+  const AdjacencyMatrix g(4);
+  const auto result = enumerate(g);
+  ASSERT_EQ(result.sets.size(), 1u);
+  EXPECT_EQ(result.sets[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Mis, TriangleHasThreeSingletons) {
+  AdjacencyMatrix g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto result = enumerate(g);
+  ASSERT_EQ(result.sets.size(), 3u);
+  for (const auto& s : result.sets) EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Mis, PathOfThree) {
+  // 0-1-2: maximal independent sets {0,2} and {1}.
+  AdjacencyMatrix g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto result = enumerate(g);
+  ASSERT_EQ(result.sets.size(), 2u);
+  EXPECT_EQ(result.sets[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(result.sets[1], (std::vector<int>{1}));
+}
+
+TEST(Mis, StarGraph) {
+  // Center 0 adjacent to 1..4: sets {1,2,3,4} and {0}.
+  AdjacencyMatrix g(5);
+  for (int leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf);
+  const auto result = enumerate(g);
+  ASSERT_EQ(result.sets.size(), 2u);
+  EXPECT_EQ(result.sets[0], (std::vector<int>{0}));
+  EXPECT_EQ(result.sets[1], (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Mis, EmissionCounts) {
+  AdjacencyMatrix g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto result = enumerate(g);
+  const auto counts = emission_counts(result, 3);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(Mis, EnumerationCapTruncates) {
+  // A perfect matching on 2k vertices has 2^k maximal independent sets...
+  // actually each edge contributes "pick one endpoint": 2^k sets.
+  AdjacencyMatrix g(16);
+  for (int i = 0; i < 16; i += 2) g.add_edge(i, i + 1);
+  const auto capped = enumerate_maximal_independent_sets(g, 10);
+  EXPECT_FALSE(capped.complete);
+  EXPECT_LE(capped.sets.size(), 10u);
+  const auto full = enumerate_maximal_independent_sets(g);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.sets.size(), 256u);  // 2^8
+}
+
+// Brute-force cross-check on random graphs up to 12 vertices.
+class MisRandomTest : public ::testing::TestWithParam<int> {};
+
+std::vector<std::vector<int>> brute_force_mis(const AdjacencyMatrix& g) {
+  const int n = g.size();
+  std::vector<std::vector<int>> sets;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    bool independent = true;
+    for (int a = 0; a < n && independent; ++a)
+      for (int b = a + 1; b < n && independent; ++b)
+        if ((mask >> a & 1) && (mask >> b & 1) && g.adjacent(a, b))
+          independent = false;
+    if (!independent) continue;
+    bool maximal = true;
+    for (int v = 0; v < n && maximal; ++v) {
+      if (mask >> v & 1) continue;
+      bool blocked = false;
+      for (int a = 0; a < n; ++a)
+        if ((mask >> a & 1) && g.adjacent(a, v)) blocked = true;
+      if (!blocked) maximal = false;
+    }
+    if (!maximal) continue;
+    std::vector<int> set;
+    for (int v = 0; v < n; ++v)
+      if (mask >> v & 1) set.push_back(v);
+    sets.push_back(std::move(set));
+  }
+  std::sort(sets.begin(), sets.end());
+  return sets;
+}
+
+TEST_P(MisRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  const int n = 2 + static_cast<int>(rng.below(11));  // up to 12 vertices
+  AdjacencyMatrix g(n);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      if (rng.uniform() < 0.35) g.add_edge(a, b);
+  const auto result = enumerate(g);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.sets, brute_force_mis(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MisRandomTest, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace bwshare::models

@@ -1,0 +1,74 @@
+#include "mpi/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flowsim/fluid_network.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::mpi {
+namespace {
+
+TEST(MiniMpi, RecordsPerRankPrograms) {
+  MiniMpi mpi(3);
+  mpi.run([](Rank& self) {
+    self.compute(0.1 * (self.rank() + 1));
+    if (self.rank() == 0) self.send(1, 1e6);
+    if (self.rank() == 1) self.recv(0, 1e6);
+    self.barrier();
+  });
+  const auto& trace = mpi.trace();
+  EXPECT_EQ(trace.num_tasks(), 3);
+  EXPECT_EQ(trace.program(0).size(), 3u);  // compute, send, barrier
+  EXPECT_EQ(trace.program(2).size(), 2u);  // compute, barrier
+}
+
+TEST(MiniMpi, RingProgramRunsOnEngine) {
+  const int p = 4;
+  MiniMpi mpi(p);
+  mpi.run([p](Rank& self) {
+    // Classic ring: rank 0 starts, everyone forwards.
+    if (self.rank() == 0) {
+      self.send(1, 4e6);
+      self.recv(p - 1, 4e6);
+    } else {
+      self.recv(self.rank() - 1, 4e6);
+      self.send((self.rank() + 1) % p, 4e6);
+    }
+  });
+  const auto cluster = topo::ClusterSpec::uniform(
+      "t", p, 1, topo::myrinet2000_calibration());
+  const auto placement = sim::make_placement(
+      sim::SchedulingPolicy::kRoundRobinNode, cluster, p);
+  const flowsim::FluidRateProvider provider(cluster.network());
+  const auto result =
+      sim::run_simulation(mpi.trace(), cluster, placement, provider);
+  // Four sequential hops around the ring.
+  const double hop = cluster.network().reference_time(4e6);
+  EXPECT_NEAR(result.makespan, 4 * hop, 4 * hop * 0.05);
+}
+
+TEST(MiniMpi, SelfSendRejected) {
+  MiniMpi mpi(2);
+  EXPECT_THROW(mpi.run([](Rank& self) { self.send(self.rank(), 1.0); }),
+               Error);
+}
+
+TEST(MiniMpi, RangeChecks) {
+  MiniMpi mpi(2);
+  EXPECT_THROW(mpi.run([](Rank& self) {
+    if (self.rank() == 0) self.send(5, 1.0);
+  }), Error);
+  EXPECT_THROW(MiniMpi{0}, Error);
+}
+
+TEST(MiniMpi, UnmatchedTrafficFailsValidation) {
+  MiniMpi mpi(2);
+  mpi.run([](Rank& self) {
+    if (self.rank() == 0) self.send(1, 1.0);  // no matching recv
+  });
+  EXPECT_THROW(mpi.trace(), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::mpi

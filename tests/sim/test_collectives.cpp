@@ -1,0 +1,128 @@
+// Collective trace builders: every algorithm must produce a valid,
+// deadlock-free trace that actually delivers the payload, and show its
+// characteristic conflict pattern under the models.
+#include "sim/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flowsim/fluid_network.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::sim {
+namespace {
+
+topo::ClusterSpec cluster(int nodes) {
+  return topo::ClusterSpec::uniform("test", nodes, 2,
+                                    topo::myrinet2000_calibration());
+}
+
+Placement identity_placement(int tasks) {
+  std::vector<topo::NodeId> nodes(static_cast<size_t>(tasks));
+  for (int t = 0; t < tasks; ++t) nodes[static_cast<size_t>(t)] = t;
+  return Placement(std::move(nodes));
+}
+
+SimResult run(const AppTrace& trace) {
+  const int p = trace.num_tasks();
+  const auto c = cluster(p);
+  const flowsim::FluidRateProvider provider(c.network());
+  return run_simulation(trace, c, identity_placement(p), provider);
+}
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, RingBroadcastDeliversToEveryone) {
+  const int p = GetParam();
+  AppTrace trace(p);
+  append_ring_broadcast(trace, 0, 4e6);
+  EXPECT_NO_THROW(trace.validate());
+  const auto result = run(trace);
+  EXPECT_EQ(result.comms.size(), static_cast<size_t>(p - 1));
+  // Strictly sequential hops: makespan ~ (p-1) hop times.
+  const double hop = cluster(p).network().reference_time(4e6);
+  EXPECT_NEAR(result.makespan, (p - 1) * hop, (p - 1) * hop * 0.05);
+}
+
+TEST_P(CollectiveSizes, BinomialBroadcastIsLogDepth) {
+  const int p = GetParam();
+  AppTrace trace(p);
+  append_binomial_broadcast(trace, 0, 4e6);
+  EXPECT_NO_THROW(trace.validate());
+  const auto result = run(trace);
+  EXPECT_EQ(result.comms.size(), static_cast<size_t>(p - 1));
+  // Depth is ceil(log2 p) rounds; with conflicts it stays well below the
+  // ring's p-1 sequential hops for larger p.
+  if (p >= 8) {
+    AppTrace ring(p);
+    append_ring_broadcast(ring, 0, 4e6);
+    const auto ring_result = run(ring);
+    EXPECT_LT(result.makespan, ring_result.makespan);
+  }
+}
+
+TEST_P(CollectiveSizes, ScatterIsAnOutgoingConflict) {
+  const int p = GetParam();
+  AppTrace trace(p);
+  append_scatter(trace, 0, 4e6);
+  EXPECT_NO_THROW(trace.validate());
+  const auto result = run(trace);
+  EXPECT_EQ(result.comms.size(), static_cast<size_t>(p - 1));
+  // All p-1 transfers leave node 0 concurrently: penalties ~ p-1 when >= 2.
+  if (p >= 3) {
+    for (const auto& c : result.comms) EXPECT_GT(c.penalty, (p - 1) * 0.6);
+  }
+}
+
+TEST_P(CollectiveSizes, GatherIsAnIncomeConflict) {
+  const int p = GetParam();
+  AppTrace trace(p);
+  append_gather(trace, 0, 4e6);
+  EXPECT_NO_THROW(trace.validate());
+  const auto result = run(trace);
+  EXPECT_EQ(result.comms.size(), static_cast<size_t>(p - 1));
+  if (p >= 3) {
+    for (const auto& c : result.comms) EXPECT_GT(c.penalty, (p - 1) * 0.6);
+  }
+}
+
+TEST_P(CollectiveSizes, RingAllreduceCompletes) {
+  const int p = GetParam();
+  AppTrace trace(p);
+  append_ring_allreduce(trace, 8e6);
+  EXPECT_NO_THROW(trace.validate());
+  const auto result = run(trace);
+  // 2(p-1) rounds of p messages each.
+  EXPECT_EQ(result.comms.size(), static_cast<size_t>(2 * (p - 1) * p));
+}
+
+TEST_P(CollectiveSizes, AllToAllCompletes) {
+  const int p = GetParam();
+  AppTrace trace(p);
+  append_all_to_all(trace, 1e6);
+  EXPECT_NO_THROW(trace.validate());
+  const auto result = run(trace);
+  EXPECT_EQ(result.comms.size(), static_cast<size_t>(p * (p - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes, ::testing::Values(2, 3, 4, 8));
+
+TEST(Collectives, NonRootBroadcast) {
+  AppTrace trace(5);
+  append_binomial_broadcast(trace, 3, 1e6);
+  EXPECT_NO_THROW(trace.validate());
+  const auto result = run(trace);
+  EXPECT_EQ(result.comms.size(), 4u);
+  // The root never receives.
+  for (const auto& c : result.comms) EXPECT_NE(c.dst_task, 3);
+}
+
+TEST(Collectives, Validation) {
+  AppTrace trace(4);
+  EXPECT_THROW(append_ring_broadcast(trace, 9, 1e6), Error);
+  AppTrace tiny(1);
+  EXPECT_THROW(append_all_to_all(tiny, 1e6), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::sim

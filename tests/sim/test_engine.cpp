@@ -1,0 +1,221 @@
+// Engine semantics: rendezvous blocking, eager sends, any-source matching,
+// barriers, conflict-driven slowdown, deadlock detection.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flowsim/fluid_network.hpp"
+#include "models/gige.hpp"
+#include "models/myrinet.hpp"
+#include "sim/rate_model.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::sim {
+namespace {
+
+topo::ClusterSpec cluster(int nodes = 8) {
+  return topo::ClusterSpec::uniform("test", nodes, 2,
+                                    topo::gigabit_ethernet_calibration());
+}
+
+Placement identity_placement(int tasks) {
+  std::vector<topo::NodeId> nodes(static_cast<size_t>(tasks));
+  for (int t = 0; t < tasks; ++t) nodes[static_cast<size_t>(t)] = t;
+  return Placement(std::move(nodes));
+}
+
+flowsim::FluidRateProvider fluid() {
+  return flowsim::FluidRateProvider(topo::gigabit_ethernet_calibration());
+}
+
+TEST(Engine, SingleTransferTakesReferenceTime) {
+  AppTrace trace(2);
+  trace.push(0, Event::send(1, 20e6));
+  trace.push(1, Event::recv(0, 20e6));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(2), provider);
+  const auto& net = cluster().network();
+  EXPECT_NEAR(result.makespan, net.latency + 20e6 / net.reference_bandwidth(),
+              1e-3);
+  ASSERT_EQ(result.comms.size(), 1u);
+  EXPECT_NEAR(result.comms[0].penalty, 1.0, 0.01);
+}
+
+TEST(Engine, RendezvousSenderBlocksUntilDrained) {
+  AppTrace trace(2);
+  trace.push(0, Event::send(1, 20e6));
+  trace.push(0, Event::compute(0.001));
+  trace.push(1, Event::compute(0.05));  // receiver posts late
+  trace.push(1, Event::recv(0, 20e6));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(2), provider);
+  // The transfer cannot start before the receive is posted at t=0.05.
+  EXPECT_GE(result.comms[0].start, 0.05 - 1e-9);
+  EXPECT_GT(result.tasks[0].send_blocked_seconds, 0.05);
+}
+
+TEST(Engine, EagerSendDoesNotBlockSender) {
+  AppTrace trace(2);
+  trace.push(0, Event::send(1, 1024.0));  // below eager threshold
+  trace.push(0, Event::compute(0.5));
+  trace.push(1, Event::compute(0.2));  // receive posted late
+  trace.push(1, Event::recv(0, 1024.0));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(2), provider);
+  EXPECT_DOUBLE_EQ(result.tasks[0].send_blocked_seconds, 0.0);
+  // Sender's makespan contribution is its compute, not the late receiver.
+  EXPECT_NEAR(result.tasks[0].finish_time, 0.5, 1e-6);
+}
+
+TEST(Engine, AnySourceMatchesEarliestPostedSend) {
+  AppTrace trace(3);
+  trace.push(1, Event::compute(0.010));
+  trace.push(1, Event::send(0, 1e6));
+  trace.push(2, Event::compute(0.005));
+  trace.push(2, Event::send(0, 2e6));
+  trace.push(0, Event::recv_any(0.0));
+  trace.push(0, Event::recv_any(0.0));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(3), provider);
+  // Records appear in posting order; task 2 posted first (t=5ms), so its
+  // message matches the first any-source receive and transfers first.
+  ASSERT_EQ(result.comms.size(), 2u);
+  EXPECT_EQ(result.comms[0].src_task, 2);
+  EXPECT_EQ(result.comms[1].src_task, 1);
+  EXPECT_NEAR(result.comms[0].start, 0.005, 1e-6);
+  // Task 0's program is sequential: the second receive is only posted after
+  // the first transfer completes, so task 1's message starts later.
+  EXPECT_GE(result.comms[1].start, result.comms[0].finish - 1e-6);
+}
+
+TEST(Engine, BarrierSynchronizesTasks) {
+  AppTrace trace(3);
+  trace.push(0, Event::compute(0.3));
+  trace.push(1, Event::compute(0.1));
+  trace.push(2, Event::compute(0.2));
+  trace.push_barrier_all();
+  trace.push(0, Event::compute(0.01));
+  trace.push(1, Event::compute(0.01));
+  trace.push(2, Event::compute(0.01));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(3), provider);
+  EXPECT_NEAR(result.makespan, 0.31, 1e-9);
+  // Task 1 waited 0.2 at the barrier, task 0 didn't wait.
+  EXPECT_NEAR(result.tasks[1].barrier_wait_seconds, 0.2, 1e-9);
+  EXPECT_NEAR(result.tasks[0].barrier_wait_seconds, 0.0, 1e-9);
+}
+
+TEST(Engine, ConcurrentSendsFromOneNodeShareBandwidth) {
+  // Tasks 0,1 on node 0 send to nodes 1,2 simultaneously: fig-2 S2 shape.
+  AppTrace trace(4);
+  trace.push(0, Event::send(2, 20e6));
+  trace.push(1, Event::send(3, 20e6));
+  trace.push(2, Event::recv(0, 20e6));
+  trace.push(3, Event::recv(1, 20e6));
+  Placement placement({0, 0, 1, 2});
+  const auto provider = fluid();
+  const auto result = run_simulation(trace, cluster(), placement, provider);
+  for (const auto& c : result.comms) EXPECT_NEAR(c.penalty, 1.5, 0.02);
+}
+
+TEST(Engine, IntraNodeCommsUseSharedMemory) {
+  AppTrace trace(2);
+  trace.push(0, Event::send(1, 8e6));
+  trace.push(1, Event::recv(0, 8e6));
+  Placement placement({0, 0});  // same node
+  const auto provider = fluid();
+  const auto result = run_simulation(trace, cluster(), placement, provider);
+  const auto& net = cluster().network();
+  EXPECT_NEAR(result.makespan, 8e6 / net.shm_bandwidth, 1e-3);
+}
+
+TEST(Engine, ModelProviderUsesPenalties) {
+  // Two concurrent sends from one node under the GigE model: 1.5x each.
+  AppTrace trace(4);
+  trace.push(0, Event::send(2, 20e6));
+  trace.push(1, Event::send(3, 20e6));
+  trace.push(2, Event::recv(0, 20e6));
+  trace.push(3, Event::recv(1, 20e6));
+  Placement placement({0, 0, 1, 2});
+  const auto model = std::make_shared<models::GigabitEthernetModel>();
+  const ModelRateProvider provider(model,
+                                   topo::gigabit_ethernet_calibration());
+  const auto result = run_simulation(trace, cluster(), placement, provider);
+  for (const auto& c : result.comms) EXPECT_NEAR(c.penalty, 1.5, 0.01);
+}
+
+TEST(Engine, StaggeredTransfersChangeRatesMidFlight) {
+  // Second transfer starts halfway through the first: the first runs at
+  // full speed, then shares, so its penalty lands strictly between 1 and
+  // the fully shared value.
+  AppTrace trace(4);
+  trace.push(0, Event::send(2, 20e6));
+  trace.push(1, Event::compute(0.1));
+  trace.push(1, Event::send(3, 20e6));
+  trace.push(2, Event::recv(0, 20e6));
+  trace.push(3, Event::recv(1, 20e6));
+  Placement placement({0, 0, 1, 2});
+  const auto provider = fluid();
+  const auto result = run_simulation(trace, cluster(), placement, provider);
+  const auto& first = result.comms[0];
+  EXPECT_GT(first.penalty, 1.05);
+  EXPECT_LT(first.penalty, 1.5);
+}
+
+TEST(Engine, DeadlockIsDetected) {
+  AppTrace trace(2);
+  trace.push(0, Event::recv(1, 1e6));
+  trace.push(1, Event::recv(0, 1e6));
+  const auto provider = fluid();
+  EXPECT_THROW(
+      run_simulation(trace, cluster(), identity_placement(2), provider),
+      Error);
+}
+
+TEST(Engine, MismatchedPlacementRejected) {
+  AppTrace trace(3);
+  const auto provider = fluid();
+  EXPECT_THROW(
+      run_simulation(trace, cluster(), identity_placement(2), provider),
+      Error);
+}
+
+TEST(Engine, ZeroByteMessageCostsLatency) {
+  AppTrace trace(2);
+  trace.push(0, Event::send(1, 0.0));
+  trace.push(1, Event::recv(0, 0.0));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(2), provider);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_LT(result.makespan, 1e-3);
+}
+
+TEST(Engine, ResultAccountingIsConsistent) {
+  AppTrace trace(3);
+  trace.push(0, Event::send(1, 5e6));
+  trace.push(0, Event::send(2, 5e6));
+  trace.push(1, Event::recv(0, 5e6));
+  trace.push(2, Event::recv(0, 5e6));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(3), provider);
+  EXPECT_EQ(result.comms.size(), 2u);
+  EXPECT_EQ(result.tasks[0].sends, 2);
+  EXPECT_EQ(result.tasks[1].recvs, 1);
+  for (const auto& c : result.comms) {
+    EXPECT_GE(c.finish, c.start);
+    EXPECT_GE(c.start, c.send_post);
+    EXPECT_GE(c.penalty, 0.99);
+  }
+  EXPECT_DOUBLE_EQ(result.task_comm_time(0),
+                   result.tasks[0].send_blocked_seconds);
+}
+
+}  // namespace
+}  // namespace bwshare::sim

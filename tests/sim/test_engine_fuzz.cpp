@@ -1,0 +1,74 @@
+// Randomized engine stress: generated traces (random pairings, sizes,
+// placements and non-blocking patterns) must always terminate with
+// consistent accounting — no deadlock, no lost transfer, penalties >= 1.
+#include <gtest/gtest.h>
+
+#include "flowsim/fluid_network.hpp"
+#include "sim/engine.hpp"
+#include "sim/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace bwshare::sim {
+namespace {
+
+class EngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzz, RandomTracesTerminateConsistently) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1000003 + 17);
+  const int tasks = 3 + static_cast<int>(rng.below(6));
+  AppTrace trace(tasks);
+
+  int expected_comms = 0;
+  const int rounds = 2 + static_cast<int>(rng.below(4));
+  for (int round = 0; round < rounds; ++round) {
+    // A random derangement-ish pairing: task i sends to a random other.
+    for (TaskId src = 0; src < tasks; ++src) {
+      if (rng.uniform() < 0.4) continue;
+      TaskId dst = static_cast<TaskId>(rng.below(static_cast<uint64_t>(tasks)));
+      if (dst == src) dst = (dst + 1) % tasks;
+      const double bytes = rng.uniform() < 0.3 ? 1e3 : rng.uniform(1e5, 8e6);
+      // Receivers always post non-blocking first, so no ordering deadlocks.
+      trace.push(dst, Event::irecv(src, bytes));
+      if (rng.uniform() < 0.5) {
+        trace.push(src, Event::isend(dst, bytes));
+        trace.push(src, Event::wait_all());
+      } else {
+        trace.push(src, Event::send(dst, bytes));
+      }
+      ++expected_comms;
+    }
+    for (TaskId t = 0; t < tasks; ++t) {
+      if (rng.uniform() < 0.5)
+        trace.push(t, Event::compute(rng.uniform(0.0, 0.01)));
+      trace.push(t, Event::wait_all());
+    }
+    if (rng.uniform() < 0.3) trace.push_barrier_all();
+  }
+  ASSERT_NO_THROW(trace.validate());
+
+  const auto cluster = topo::ClusterSpec::uniform(
+      "fuzz", tasks, 2, topo::myrinet2000_calibration());
+  const auto placement = make_placement(SchedulingPolicy::kRandom, cluster,
+                                        tasks, rng());
+  const flowsim::FluidRateProvider provider(cluster.network());
+  const auto result = run_simulation(trace, cluster, placement, provider);
+
+  EXPECT_EQ(result.comms.size(), static_cast<size_t>(expected_comms));
+  for (const auto& c : result.comms) {
+    EXPECT_GE(c.start, c.send_post - 1e-12);
+    EXPECT_GE(c.finish, c.start);
+    EXPECT_GE(c.penalty, 0.99);
+    EXPECT_LE(c.finish, result.makespan + 1e-6);
+  }
+  for (const auto& t : result.tasks) {
+    EXPECT_GE(t.finish_time, 0.0);
+    EXPECT_LE(t.finish_time, result.makespan + 1e-12);
+    EXPECT_GE(t.send_blocked_seconds, 0.0);
+    EXPECT_GE(t.recv_blocked_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace bwshare::sim

@@ -1,0 +1,131 @@
+// Non-blocking communication semantics: Isend/Irecv/WaitAll — the mechanism
+// behind HPL's lookahead and the collective algorithms.
+#include <gtest/gtest.h>
+
+#include "flowsim/fluid_network.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::sim {
+namespace {
+
+topo::ClusterSpec cluster(int nodes = 8) {
+  return topo::ClusterSpec::uniform("test", nodes, 2,
+                                    topo::gigabit_ethernet_calibration());
+}
+
+Placement identity_placement(int tasks) {
+  std::vector<topo::NodeId> nodes(static_cast<size_t>(tasks));
+  for (int t = 0; t < tasks; ++t) nodes[static_cast<size_t>(t)] = t;
+  return Placement(std::move(nodes));
+}
+
+flowsim::FluidRateProvider fluid() {
+  return flowsim::FluidRateProvider(topo::gigabit_ethernet_calibration());
+}
+
+TEST(NonBlocking, IrecvOverlapsComputeWithTransfer) {
+  // Receiver posts irecv, computes 0.5 s while 20 MB flows in, then waits.
+  AppTrace trace(2);
+  trace.push(0, Event::send(1, 20e6));
+  trace.push(1, Event::irecv(0, 20e6));
+  trace.push(1, Event::compute(0.5));
+  trace.push(1, Event::wait_all());
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(2), provider);
+  const double transfer = cluster().network().reference_time(20e6);  // ~0.21s
+  // Full overlap: makespan ~ max(compute, transfer) = 0.5, not the sum.
+  EXPECT_NEAR(result.makespan, 0.5, 0.02);
+  EXPECT_LT(result.tasks[1].recv_blocked_seconds, 0.01);
+  EXPECT_GT(transfer, 0.1);  // sanity: the transfer was worth overlapping
+}
+
+TEST(NonBlocking, WaitAllBlocksUntilTransferDone) {
+  // No compute to hide the transfer: waitall blocks for its duration.
+  AppTrace trace(2);
+  trace.push(0, Event::send(1, 20e6));
+  trace.push(1, Event::irecv(0, 20e6));
+  trace.push(1, Event::wait_all());
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(2), provider);
+  EXPECT_NEAR(result.tasks[1].recv_blocked_seconds,
+              cluster().network().reference_time(20e6), 1e-3);
+}
+
+TEST(NonBlocking, WaitAllWithNothingOutstandingIsFree) {
+  AppTrace trace(2);
+  trace.push(0, Event::wait_all());
+  trace.push(0, Event::compute(0.1));
+  trace.push(1, Event::compute(0.1));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(2), provider);
+  EXPECT_NEAR(result.makespan, 0.1, 1e-9);
+}
+
+TEST(NonBlocking, IsendDoesNotBlockLargeMessages) {
+  // A 20 MB Isend returns immediately; the sender computes while it drains.
+  AppTrace trace(2);
+  trace.push(0, Event::isend(1, 20e6));
+  trace.push(0, Event::compute(0.5));
+  trace.push(0, Event::wait_all());
+  trace.push(1, Event::recv(0, 20e6));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(2), provider);
+  EXPECT_NEAR(result.makespan, 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(result.tasks[0].send_blocked_seconds, 0.0);
+}
+
+TEST(NonBlocking, MultipleIrecvsOneWaitAll) {
+  AppTrace trace(3);
+  trace.push(0, Event::irecv(1, 4e6));
+  trace.push(0, Event::irecv(2, 4e6));
+  trace.push(0, Event::wait_all());
+  trace.push(1, Event::send(0, 4e6));
+  trace.push(2, Event::send(0, 4e6));
+  const auto provider = fluid();
+  const auto result =
+      run_simulation(trace, cluster(), identity_placement(3), provider);
+  // Both transfers contend for node 0's downlink -> each is penalized.
+  ASSERT_EQ(result.comms.size(), 2u);
+  for (const auto& c : result.comms) EXPECT_GT(c.penalty, 1.2);
+}
+
+TEST(NonBlocking, SendRecvCycleDeadlocksButIrecvCycleDoesNot) {
+  // Classic ring exchange: blocking send+recv everywhere deadlocks under
+  // rendezvous...
+  AppTrace bad(3);
+  for (TaskId t = 0; t < 3; ++t) {
+    bad.push(t, Event::send((t + 1) % 3, 1e6));
+    bad.push(t, Event::recv((t + 2) % 3, 1e6));
+  }
+  const auto provider = fluid();
+  EXPECT_THROW(
+      run_simulation(bad, cluster(), identity_placement(3), provider), Error);
+
+  // ...while posting the receives first is safe.
+  AppTrace good(3);
+  for (TaskId t = 0; t < 3; ++t) {
+    good.push(t, Event::irecv((t + 2) % 3, 1e6));
+    good.push(t, Event::send((t + 1) % 3, 1e6));
+    good.push(t, Event::wait_all());
+  }
+  const auto result =
+      run_simulation(good, cluster(), identity_placement(3), provider);
+  EXPECT_EQ(result.comms.size(), 3u);
+}
+
+TEST(NonBlocking, TraceValidationCountsIsendAndIrecv) {
+  AppTrace trace(2);
+  trace.push(0, Event::isend(1, 1e3));
+  trace.push(1, Event::irecv(0, 1e3));
+  EXPECT_NO_THROW(trace.validate());
+  trace.push(0, Event::isend(1, 1e3));  // now unmatched
+  EXPECT_THROW(trace.validate(), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::sim

@@ -1,0 +1,84 @@
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace bwshare::sim {
+namespace {
+
+topo::ClusterSpec cluster(int nodes, int cores) {
+  return topo::ClusterSpec::uniform("test", nodes, cores,
+                                    topo::gigabit_ethernet_calibration());
+}
+
+TEST(Schedule, RoundRobinNodeCycles) {
+  // 4 nodes x 2 cores, 6 tasks: 0,1,2,3 then wrap to 0,1.
+  const auto p = make_placement(SchedulingPolicy::kRoundRobinNode,
+                                cluster(4, 2), 6);
+  EXPECT_EQ(p.nodes(), (std::vector<topo::NodeId>{0, 1, 2, 3, 0, 1}));
+}
+
+TEST(Schedule, RoundRobinProcessorFillsNodes) {
+  // 4 nodes x 2 cores, 6 tasks: 0,0,1,1,2,2.
+  const auto p = make_placement(SchedulingPolicy::kRoundRobinProcessor,
+                                cluster(4, 2), 6);
+  EXPECT_EQ(p.nodes(), (std::vector<topo::NodeId>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(Schedule, RandomIsDeterministicPerSeed) {
+  const auto a = make_placement(SchedulingPolicy::kRandom, cluster(8, 2), 12, 7);
+  const auto b = make_placement(SchedulingPolicy::kRandom, cluster(8, 2), 12, 7);
+  EXPECT_EQ(a.nodes(), b.nodes());
+  const auto c = make_placement(SchedulingPolicy::kRandom, cluster(8, 2), 12, 8);
+  EXPECT_NE(a.nodes(), c.nodes());
+}
+
+TEST(Schedule, RandomRespectsCoreCapacity) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const auto p =
+        make_placement(SchedulingPolicy::kRandom, cluster(4, 2), 8, seed);
+    std::map<topo::NodeId, int> count;
+    for (int t = 0; t < p.num_tasks(); ++t) ++count[p.node_of(t)];
+    for (const auto& [node, n] : count) EXPECT_LE(n, 2) << "node " << node;
+  }
+}
+
+TEST(Schedule, AllPoliciesRespectCapacity) {
+  for (const auto policy :
+       {SchedulingPolicy::kRoundRobinNode, SchedulingPolicy::kRoundRobinProcessor,
+        SchedulingPolicy::kRandom}) {
+    const auto c = cluster(3, 2);
+    const auto p = make_placement(policy, c, 6);
+    std::map<topo::NodeId, int> count;
+    for (int t = 0; t < 6; ++t) ++count[p.node_of(t)];
+    for (const auto& [node, n] : count) EXPECT_LE(n, 2);
+  }
+}
+
+TEST(Schedule, Colocation) {
+  const auto p = make_placement(SchedulingPolicy::kRoundRobinProcessor,
+                                cluster(4, 2), 4);
+  EXPECT_TRUE(p.colocated(0, 1));
+  EXPECT_FALSE(p.colocated(1, 2));
+}
+
+TEST(Schedule, CapacityValidation) {
+  EXPECT_THROW(make_placement(SchedulingPolicy::kRoundRobinNode, cluster(2, 1), 3),
+               Error);
+  EXPECT_THROW(make_placement(SchedulingPolicy::kRandom, cluster(2, 1), 0),
+               Error);
+}
+
+TEST(Schedule, PolicyNames) {
+  EXPECT_EQ(to_string(SchedulingPolicy::kRoundRobinNode), "RRN");
+  EXPECT_EQ(scheduling_policy_from_string("RRP"),
+            SchedulingPolicy::kRoundRobinProcessor);
+  EXPECT_EQ(scheduling_policy_from_string("random"), SchedulingPolicy::kRandom);
+  EXPECT_THROW(scheduling_policy_from_string("fifo"), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::sim

@@ -1,0 +1,62 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bwshare::stats {
+namespace {
+
+TEST(Bootstrap, MeanCiCoversTruth) {
+  Rng rng(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(10.0 + rng.normal());
+  const auto ci = bootstrap_mean_ci(xs, 500);
+  EXPECT_NEAR(ci.point, 10.0, 0.3);
+  EXPECT_LT(ci.low, ci.point);
+  EXPECT_GT(ci.high, ci.point);
+  EXPECT_LE(ci.low, 10.2);
+  EXPECT_GE(ci.high, 9.8);
+}
+
+TEST(Bootstrap, ConstantSeriesHasDegenerateInterval) {
+  const std::vector<double> xs(50, 3.0);
+  const auto ci = bootstrap_mean_ci(xs, 200);
+  EXPECT_DOUBLE_EQ(ci.low, 3.0);
+  EXPECT_DOUBLE_EQ(ci.high, 3.0);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+}
+
+TEST(Bootstrap, DeterministicForSameSeed) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.uniform());
+  const auto a = bootstrap_mean_ci(xs, 300, 0.95, 7);
+  const auto b = bootstrap_mean_ci(xs, 300, 0.95, 7);
+  EXPECT_DOUBLE_EQ(a.low, b.low);
+  EXPECT_DOUBLE_EQ(a.high, b.high);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 100.0};
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return median(s); }, 300);
+  EXPECT_LE(ci.low, ci.point);
+  EXPECT_GE(ci.high, ci.point);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+}
+
+TEST(Bootstrap, Validation) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(bootstrap_mean_ci({}, 100), Error);
+  EXPECT_THROW(bootstrap_ci(
+                   xs, [](std::span<const double>) { return 0.0; }, 100, 1.5),
+               Error);
+}
+
+}  // namespace
+}  // namespace bwshare::stats

@@ -1,0 +1,52 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bwshare::stats {
+namespace {
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(2), 6.0);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> xs{0.5, 1.5, 2.5, 3.5};
+  h.add_all(xs);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(h.bin_count(i), 1u);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::stats

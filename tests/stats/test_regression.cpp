@@ -1,0 +1,68 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bwshare::stats {
+namespace {
+
+TEST(Regression, ExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineRecoversSlope) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = static_cast<double>(i) / 50.0;
+    x.push_back(xi);
+    y.push_back(0.5 + 3.0 * xi + rng.normal() * 0.1);
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 0.5, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Regression, ConstantYGivesZeroSlope) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, 4.0, 4.0};
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);  // degenerate: fit is exact
+}
+
+TEST(Regression, Validation) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_linear(one, one), Error);
+  const std::vector<double> same_x{2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(fit_linear(same_x, y), Error);
+}
+
+TEST(Regression, ProportionalFit) {
+  // β-style estimation: y = 0.75 x exactly.
+  const std::vector<double> x{2.0, 3.0, 4.0};
+  const std::vector<double> y{1.5, 2.25, 3.0};
+  EXPECT_NEAR(fit_proportional(x, y), 0.75, 1e-12);
+}
+
+TEST(Regression, ProportionalValidation) {
+  const std::vector<double> zero{0.0};
+  EXPECT_THROW(fit_proportional(zero, zero), Error);
+  EXPECT_THROW(fit_proportional({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::stats

@@ -1,0 +1,47 @@
+#include "topo/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bwshare::topo {
+namespace {
+
+TEST(Cluster, UniformConstruction) {
+  const auto c =
+      ClusterSpec::uniform("test", 8, 2, gigabit_ethernet_calibration());
+  EXPECT_EQ(c.num_nodes(), 8);
+  EXPECT_EQ(c.total_cores(), 16);
+  EXPECT_EQ(c.node(0).cores, 2);
+}
+
+TEST(Cluster, PaperClusters) {
+  const auto gige = ClusterSpec::ibm_eserver326_gige();
+  EXPECT_EQ(gige.num_nodes(), 53);
+  EXPECT_EQ(gige.node(0).cores, 2);
+  EXPECT_EQ(gige.network().tech, NetworkTech::kGigabitEthernet);
+
+  const auto myri = ClusterSpec::ibm_eserver325_myrinet();
+  EXPECT_EQ(myri.num_nodes(), 72);
+  EXPECT_EQ(myri.network().tech, NetworkTech::kMyrinet2000);
+
+  const auto ib = ClusterSpec::bull_novascale_ib();
+  EXPECT_EQ(ib.num_nodes(), 26);
+  EXPECT_EQ(ib.node(0).cores, 4);  // 2x Woodcrest = 4 cores/node
+  EXPECT_EQ(ib.network().tech, NetworkTech::kInfinibandInfinihost3);
+}
+
+TEST(Cluster, Validation) {
+  EXPECT_THROW(
+      ClusterSpec::uniform("x", 0, 1, gigabit_ethernet_calibration()), Error);
+  EXPECT_THROW(
+      ClusterSpec("x", {NodeSpec{0, 1.0}}, gigabit_ethernet_calibration()),
+      Error);
+  const auto c =
+      ClusterSpec::uniform("test", 2, 1, gigabit_ethernet_calibration());
+  EXPECT_THROW(c.node(2), Error);
+  EXPECT_THROW(c.node(-1), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::topo

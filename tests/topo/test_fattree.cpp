@@ -1,0 +1,99 @@
+#include "topo/fattree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace bwshare::topo {
+namespace {
+
+FatTree::Params small_params() {
+  FatTree::Params p;
+  p.num_hosts = 8;
+  p.radix = 4;
+  p.host_bandwidth = 125e6;
+  p.uplink_factor = 4.0;
+  p.num_core = 2;
+  return p;
+}
+
+TEST(FatTree, LinkInventory) {
+  const FatTree ft(small_params());
+  // 8 up + 8 down + 2 edges x 2 cores x 2 directions = 24.
+  EXPECT_EQ(ft.num_links(), 24);
+  EXPECT_EQ(ft.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(ft.link(ft.host_uplink(0)).capacity, 125e6);
+}
+
+TEST(FatTree, IntraNodeRouteIsEmpty) {
+  const FatTree ft(small_params());
+  EXPECT_TRUE(ft.route(3, 3).empty());
+}
+
+TEST(FatTree, SameEdgeRouteUsesTwoLinks) {
+  const FatTree ft(small_params());
+  const auto route = ft.route(0, 1);  // both under edge 0
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(route[0], ft.host_uplink(0));
+  EXPECT_EQ(route[1], ft.host_downlink(1));
+}
+
+TEST(FatTree, CrossEdgeRouteUsesFourLinks) {
+  const FatTree ft(small_params());
+  const auto route = ft.route(0, 7);  // edge 0 -> edge 1
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_EQ(route[0], ft.host_uplink(0));
+  EXPECT_EQ(route[3], ft.host_downlink(7));
+  // The middle hops are uplink-class links with higher capacity.
+  EXPECT_DOUBLE_EQ(ft.link(route[1]).capacity, 4.0 * 125e6);
+  EXPECT_DOUBLE_EQ(ft.link(route[2]).capacity, 4.0 * 125e6);
+}
+
+TEST(FatTree, RoutesAreDeterministic) {
+  const FatTree ft(small_params());
+  EXPECT_EQ(ft.route(0, 7), ft.route(0, 7));
+}
+
+TEST(FatTree, EveryPairHasValidRoute) {
+  const FatTree ft(small_params());
+  for (int s = 0; s < ft.num_hosts(); ++s)
+    for (int d = 0; d < ft.num_hosts(); ++d) {
+      if (s == d) continue;
+      const auto route = ft.route(s, d);
+      ASSERT_GE(route.size(), 2u);
+      EXPECT_EQ(route.front(), ft.host_uplink(s));
+      EXPECT_EQ(route.back(), ft.host_downlink(d));
+      // No repeated links.
+      const std::set<LinkId> unique(route.begin(), route.end());
+      EXPECT_EQ(unique.size(), route.size());
+      for (LinkId id : route) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, ft.num_links());
+      }
+    }
+}
+
+TEST(FatTree, ForCluster) {
+  const auto cluster = ClusterSpec::ibm_eserver325_myrinet(16);
+  const auto ft = FatTree::for_cluster(cluster);
+  EXPECT_EQ(ft.num_hosts(), 16);
+  EXPECT_DOUBLE_EQ(ft.link(ft.host_uplink(5)).capacity,
+                   cluster.network().link_bandwidth);
+}
+
+TEST(FatTree, Validation) {
+  FatTree::Params p = small_params();
+  p.num_hosts = 0;
+  EXPECT_THROW(FatTree{p}, Error);
+  p = small_params();
+  p.host_bandwidth = 0.0;
+  EXPECT_THROW(FatTree{p}, Error);
+  const FatTree ft(small_params());
+  EXPECT_THROW(ft.route(0, 99), Error);
+  EXPECT_THROW(ft.link(999), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::topo

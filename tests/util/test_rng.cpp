@@ -1,0 +1,84 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bwshare {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 * 0.9);
+    EXPECT_LT(c, n / 10 * 1.1);
+  }
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialHasExpectedMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == UINT64_MAX);
+  Rng rng(1);
+  (void)rng();
+}
+
+}  // namespace
+}  // namespace bwshare

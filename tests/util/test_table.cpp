@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bwshare {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render(0);
+  // Header first, underline second, rows afterwards.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_NE(line.find("name"), std::string::npos);
+  EXPECT_NE(line.find("value"), std::string::npos);
+  std::getline(is, line);
+  EXPECT_EQ(line.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(TextTable, RowArityIsChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, NumericRows) {
+  TextTable t({"label", "x", "y"});
+  t.add_row_numeric("r", {1.23456, 2.0}, 2);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.render().find("1.23"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"a"});
+  t.add_row({"plain"});
+  t.add_row({"with,comma"});
+  t.add_row({"with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, WriteCsvRoundTrip) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/bwshare_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(TextTable, WriteCsvBadPathThrows) {
+  TextTable t({"x"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/nope.csv"), Error);
+}
+
+}  // namespace
+}  // namespace bwshare
