@@ -1,5 +1,9 @@
 // Gigabit Ethernet congestion model (paper §V-A).
 //
+// Reproduces: Fig. 2 column 1 (measured GigE penalties 1.5 / 2.25), Fig. 4
+// (γo/γi parameter estimation schemes) and feeds the Fig. 8 HPL-on-GigE
+// prediction.
+//
 // A quantitative model with three card-specific parameters:
 //   β   — per-stream sharing efficiency (fig 2: two streams cost 1.5 = 2β,
 //         three cost 2.25 = 3β with β = 0.75)

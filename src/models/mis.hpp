@@ -1,5 +1,9 @@
 // Maximal-independent-set enumeration over conflict graphs.
 //
+// Reproduces: the feasible send-set enumeration behind the paper's Fig. 5/6
+// Myrinet state tables (§V-B); the MyrinetModel's emission coefficients are
+// counts over the sets enumerated here.
+//
 // The Myrinet model (paper §V-B) considers every feasible combination of
 // communication states where a communication is either "send" or "wait",
 // under the rule: a sending communication forces every conflicting

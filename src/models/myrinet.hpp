@@ -1,5 +1,9 @@
 // Myrinet 2000 congestion model (paper §V-B).
 //
+// Reproduces: Fig. 2 column 2 (measured Myrinet penalties), the Fig. 5/6
+// send/wait state enumeration, and feeds the Fig. 9 HPL-on-Myrinet
+// prediction.
+//
 // A descriptive model built on the NIC's Stop & Go flow control: at any
 // moment each communication is either sending or waiting, and a sending
 // communication silences every communication that shares its source node or

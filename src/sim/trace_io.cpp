@@ -1,6 +1,9 @@
 #include "sim/trace_io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -53,6 +56,25 @@ AppTrace read_trace(std::string_view text) {
   auto fail = [&](const std::string& msg) -> void {
     BWS_THROW(strformat("trace line %d: %s", line_no, msg.c_str()));
   };
+  auto parse_task = [&](const std::string& field,
+                        const std::string& what) -> TaskId {
+    char* end = nullptr;
+    const long t = std::strtol(field.c_str(), &end, 10);
+    if (end == field.c_str() || *end != '\0')
+      fail("malformed " + what + " '" + field + "'");
+    if (t < 0 || t >= trace.num_tasks()) fail(what + " out of range");
+    return static_cast<TaskId>(t);
+  };
+  auto parse_number = [&](const std::string& field,
+                          const std::string& what) -> double {
+    char* end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0')
+      fail("malformed " + what + " '" + field + "'");
+    if (!std::isfinite(v) || v < 0.0)
+      fail(what + " must be finite and non-negative");
+    return v;
+  };
 
   while (std::getline(is, line)) {
     ++line_no;
@@ -64,44 +86,50 @@ AppTrace read_trace(std::string_view text) {
     if (fields[0] == "tasks") {
       if (have_tasks) fail("duplicate 'tasks' directive");
       if (fields.size() != 2) fail("'tasks' takes one argument");
-      const int n = std::atoi(fields[1].c_str());
-      if (n < 1) fail("task count must be >= 1");
-      trace = AppTrace(n);
+      char* end = nullptr;
+      const long n = std::strtol(fields[1].c_str(), &end, 10);
+      if (end == fields[1].c_str() || *end != '\0')
+        fail("malformed task count '" + fields[1] + "'");
+      if (n < 1 || n > std::numeric_limits<int>::max())
+        fail("task count out of range");
+      trace = AppTrace(static_cast<int>(n));
       have_tasks = true;
       continue;
     }
     if (!have_tasks) fail("'tasks' directive must come first");
 
-    const int t = std::atoi(fields[0].c_str());
-    if (t < 0 || t >= trace.num_tasks()) fail("task id out of range");
+    // "* <event>" applies the event to every task (e.g. "* barrier").
+    std::vector<TaskId> targets;
+    if (fields[0] == "*") {
+      for (TaskId t = 0; t < trace.num_tasks(); ++t) targets.push_back(t);
+    } else {
+      targets.push_back(parse_task(fields[0], "task id"));
+    }
     if (fields.size() < 2) fail("missing event kind");
     const std::string& kind = fields[1];
+    Event event = Event::barrier();
     if (kind == "compute") {
       if (fields.size() != 3) fail("compute takes a duration");
-      trace.push(t, Event::compute(std::atof(fields[2].c_str())));
+      event = Event::compute(parse_number(fields[2], "duration"));
     } else if (kind == "send" || kind == "isend") {
       if (fields.size() != 4) fail(kind + " takes peer and size");
-      const Event e = kind == "send"
-                          ? Event::send(std::atoi(fields[2].c_str()),
-                                        std::atof(fields[3].c_str()))
-                          : Event::isend(std::atoi(fields[2].c_str()),
-                                         std::atof(fields[3].c_str()));
-      trace.push(t, e);
+      const TaskId peer = parse_task(fields[2], "peer");
+      const double bytes = parse_number(fields[3], "size");
+      event = kind == "send" ? Event::send(peer, bytes)
+                             : Event::isend(peer, bytes);
     } else if (kind == "recv" || kind == "irecv") {
       if (fields.size() != 4) fail(kind + " takes peer and size");
       const TaskId peer =
-          fields[2] == "any" ? kAnySource : std::atoi(fields[2].c_str());
-      const Event e = kind == "recv"
-                          ? Event::recv(peer, std::atof(fields[3].c_str()))
-                          : Event::irecv(peer, std::atof(fields[3].c_str()));
-      trace.push(t, e);
+          fields[2] == "any" ? kAnySource : parse_task(fields[2], "peer");
+      const double bytes = parse_number(fields[3], "size");
+      event = kind == "recv" ? Event::recv(peer, bytes)
+                             : Event::irecv(peer, bytes);
     } else if (kind == "waitall") {
-      trace.push(t, Event::wait_all());
-    } else if (kind == "barrier") {
-      trace.push(t, Event::barrier());
-    } else {
+      event = Event::wait_all();
+    } else if (kind != "barrier") {
       fail("unknown event kind '" + kind + "'");
     }
+    for (const TaskId t : targets) trace.push(t, event);
   }
   BWS_CHECK(have_tasks, "trace has no 'tasks' directive");
   return trace;

@@ -68,7 +68,7 @@ TEST(CommGraph, Validation) {
   EXPECT_THROW(g.add("", 0, 1, 1.0), Error);
   EXPECT_THROW(g.add("a", -1, 1, 1.0), Error);
   EXPECT_THROW(g.add("a", 0, 1, -5.0), Error);
-  EXPECT_THROW(g.comm(0), Error);
+  EXPECT_THROW((void)g.comm(0), Error);
 }
 
 }  // namespace

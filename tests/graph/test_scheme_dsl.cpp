@@ -74,7 +74,7 @@ TEST(SchemeParser, NodesDirectiveValidatesRange) {
 
 TEST(SchemeParser, ErrorsCarryLineNumbers) {
   try {
-    parse_scheme("comm a 0 -> 1\ncomm b 0 ->");
+    (void)parse_scheme("comm a 0 -> 1\ncomm b 0 ->");
     FAIL() << "should have thrown";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);

@@ -24,8 +24,9 @@ TEST(HplTrace, ValidatesAndHasRingStructure) {
   // Every send goes to rank+1 (mod P): the paper's §VI-D scheme.
   for (sim::TaskId t = 0; t < trace.num_tasks(); ++t)
     for (const auto& e : trace.program(t))
-      if (e.kind == sim::EventKind::kSend)
+      if (e.kind == sim::EventKind::kSend) {
         EXPECT_EQ(e.peer, (t + 1) % params.tasks);
+      }
 }
 
 TEST(HplTrace, PanelCountAndSizes) {

@@ -33,9 +33,10 @@ TEST(Engine, SingleTransferTakesReferenceTime) {
   trace.push(0, Event::send(1, 20e6));
   trace.push(1, Event::recv(0, 20e6));
   const auto provider = fluid();
+  const auto spec = cluster();
   const auto result =
-      run_simulation(trace, cluster(), identity_placement(2), provider);
-  const auto& net = cluster().network();
+      run_simulation(trace, spec, identity_placement(2), provider);
+  const auto& net = spec.network();
   EXPECT_NEAR(result.makespan, net.latency + 20e6 / net.reference_bandwidth(),
               1e-3);
   ASSERT_EQ(result.comms.size(), 1u);
@@ -129,8 +130,9 @@ TEST(Engine, IntraNodeCommsUseSharedMemory) {
   trace.push(1, Event::recv(0, 8e6));
   Placement placement({0, 0});  // same node
   const auto provider = fluid();
-  const auto result = run_simulation(trace, cluster(), placement, provider);
-  const auto& net = cluster().network();
+  const auto spec = cluster();
+  const auto result = run_simulation(trace, spec, placement, provider);
+  const auto& net = spec.network();
   EXPECT_NEAR(result.makespan, 8e6 / net.shm_bandwidth, 1e-3);
 }
 

@@ -77,7 +77,7 @@ TEST(Schedule, PolicyNames) {
   EXPECT_EQ(scheduling_policy_from_string("RRP"),
             SchedulingPolicy::kRoundRobinProcessor);
   EXPECT_EQ(scheduling_policy_from_string("random"), SchedulingPolicy::kRandom);
-  EXPECT_THROW(scheduling_policy_from_string("fifo"), Error);
+  EXPECT_THROW((void)scheduling_policy_from_string("fifo"), Error);
 }
 
 }  // namespace

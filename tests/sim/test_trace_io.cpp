@@ -60,6 +60,30 @@ TEST(TraceIo, Errors) {
   EXPECT_THROW(read_trace("tasks 2\n5 compute 1"), Error);  // task range
   EXPECT_THROW(read_trace("tasks 2\n0 explode"), Error);  // unknown kind
   EXPECT_THROW(read_trace("tasks 2\n0 send 1"), Error);   // missing size
+  EXPECT_THROW(read_trace("tasks 2\nxyz barrier"), Error);  // bad task id
+  EXPECT_THROW(read_trace("tasks 2\n1 send abc 100"), Error);  // bad peer
+  EXPECT_THROW(read_trace("tasks 2\n0 send -1 100"), Error);   // peer range
+  EXPECT_THROW(read_trace("tasks 2x\n0 send 1 100"), Error);   // bad count
+  EXPECT_THROW(read_trace("tasks 2\n0 compute abc"), Error);   // bad duration
+  EXPECT_THROW(read_trace("tasks 2\n0 send 1 junk"), Error);   // bad size
+  EXPECT_THROW(read_trace("tasks 2\n0 send 1 -100"), Error);   // negative size
+  EXPECT_THROW(read_trace("tasks 4294967297\n0 barrier"), Error);  // int wrap
+  EXPECT_THROW(read_trace("tasks 2\n0 compute nan"), Error);   // non-finite
+  EXPECT_THROW(read_trace("tasks 2\n0 send 1 1e999"), Error);  // overflow
+}
+
+TEST(TraceIo, StarAppliesEventToEveryTask) {
+  const auto trace = read_trace(R"(
+tasks 3
+0 send 1 100
+1 recv 0 100
+* barrier
+)");
+  for (TaskId t = 0; t < trace.num_tasks(); ++t) {
+    const auto& program = trace.program(t);
+    ASSERT_FALSE(program.empty()) << "task " << t;
+    EXPECT_EQ(program.back().kind, EventKind::kBarrier) << "task " << t;
+  }
 }
 
 TEST(TraceIo, FileRoundTrip) {

@@ -52,8 +52,8 @@ TEST(Bootstrap, CustomStatistic) {
 
 TEST(Bootstrap, Validation) {
   const std::vector<double> xs{1.0};
-  EXPECT_THROW(bootstrap_mean_ci({}, 100), Error);
-  EXPECT_THROW(bootstrap_ci(
+  EXPECT_THROW((void)bootstrap_mean_ci({}, 100), Error);
+  EXPECT_THROW((void)bootstrap_ci(
                    xs, [](std::span<const double>) { return 0.0; }, 100, 1.5),
                Error);
 }

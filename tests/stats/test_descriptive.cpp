@@ -68,9 +68,9 @@ TEST(Descriptive, PercentileInterpolates) {
 
 TEST(Descriptive, PercentileValidation) {
   const std::vector<double> xs{1.0};
-  EXPECT_THROW(percentile({}, 50.0), Error);
-  EXPECT_THROW(percentile(xs, -1.0), Error);
-  EXPECT_THROW(percentile(xs, 101.0), Error);
+  EXPECT_THROW((void)percentile({}, 50.0), Error);
+  EXPECT_THROW((void)percentile(xs, -1.0), Error);
+  EXPECT_THROW((void)percentile(xs, 101.0), Error);
 }
 
 TEST(Descriptive, MeanAbs) {
@@ -85,7 +85,7 @@ TEST(Descriptive, Rmse) {
   EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
   const std::vector<double> c{2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(rmse(a, c), 1.0);
-  EXPECT_THROW(rmse(a, std::vector<double>{1.0}), Error);
+  EXPECT_THROW((void)rmse(a, std::vector<double>{1.0}), Error);
 }
 
 TEST(Descriptive, Pearson) {

@@ -45,10 +45,10 @@ TEST(Regression, ConstantYGivesZeroSlope) {
 
 TEST(Regression, Validation) {
   const std::vector<double> one{1.0};
-  EXPECT_THROW(fit_linear(one, one), Error);
+  EXPECT_THROW((void)fit_linear(one, one), Error);
   const std::vector<double> same_x{2.0, 2.0};
   const std::vector<double> y{1.0, 2.0};
-  EXPECT_THROW(fit_linear(same_x, y), Error);
+  EXPECT_THROW((void)fit_linear(same_x, y), Error);
 }
 
 TEST(Regression, ProportionalFit) {
@@ -60,8 +60,8 @@ TEST(Regression, ProportionalFit) {
 
 TEST(Regression, ProportionalValidation) {
   const std::vector<double> zero{0.0};
-  EXPECT_THROW(fit_proportional(zero, zero), Error);
-  EXPECT_THROW(fit_proportional({}, {}), Error);
+  EXPECT_THROW((void)fit_proportional(zero, zero), Error);
+  EXPECT_THROW((void)fit_proportional({}, {}), Error);
 }
 
 }  // namespace

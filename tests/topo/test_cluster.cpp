@@ -39,8 +39,8 @@ TEST(Cluster, Validation) {
       Error);
   const auto c =
       ClusterSpec::uniform("test", 2, 1, gigabit_ethernet_calibration());
-  EXPECT_THROW(c.node(2), Error);
-  EXPECT_THROW(c.node(-1), Error);
+  EXPECT_THROW((void)c.node(2), Error);
+  EXPECT_THROW((void)c.node(-1), Error);
 }
 
 }  // namespace

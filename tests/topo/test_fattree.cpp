@@ -91,8 +91,8 @@ TEST(FatTree, Validation) {
   p.host_bandwidth = 0.0;
   EXPECT_THROW(FatTree{p}, Error);
   const FatTree ft(small_params());
-  EXPECT_THROW(ft.route(0, 99), Error);
-  EXPECT_THROW(ft.link(999), Error);
+  EXPECT_THROW((void)ft.route(0, 99), Error);
+  EXPECT_THROW((void)ft.link(999), Error);
 }
 
 }  // namespace

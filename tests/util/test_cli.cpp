@@ -43,8 +43,8 @@ TEST(Cli, IntAndDoubleParsing) {
 
 TEST(Cli, MalformedNumberThrows) {
   const auto args = make({"--n", "abc"});
-  EXPECT_THROW(args.get_int("n", 0), Error);
-  EXPECT_THROW(args.get_double("n", 0.0), Error);
+  EXPECT_THROW((void)args.get_int("n", 0), Error);
+  EXPECT_THROW((void)args.get_double("n", 0.0), Error);
 }
 
 TEST(Cli, Positional) {
