@@ -9,9 +9,23 @@
 //       Replay an application trace (sim/trace_io format) under a
 //       scheduling policy; prints the per-task and summary reports for the
 //       substrate and the interconnect's model.
+//
+//   bwshare_cli sweep [--schemes mk1,mk2] [--networks gige,myrinet] ...
+//       Run a whole measured-vs-predicted campaign grid (eval::Sweep) on a
+//       thread pool; axis reference and column glossary in
+//       docs/EXPERIMENTS.md.
+//
+// Exit codes: 0 success, 1 runtime failure (including any errored sweep
+// cell), 2 usage error (unknown subcommand or flag, missing argument).
+#include <cerrno>
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "eval/experiment.hpp"
+#include "eval/sweep.hpp"
+#include "util/csv.hpp"
 #include "flowsim/fluid_network.hpp"
 #include "graph/scheme_parser.hpp"
 #include "models/registry.hpp"
@@ -23,19 +37,67 @@
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
 using namespace bwshare;
 
-int usage(const char* prog) {
-  std::cerr << "usage: " << prog << " scheme <file.scheme> [options]\n"
-            << "       " << prog << " trace <file.trace> [options]\n"
-            << "options: --network gige|myrinet|ib   interconnect (default gige)\n"
-            << "         --model <name>              penalty model (default: the network's)\n"
-            << "         --schedule RRN|RRP|Random   trace placement (default RRN)\n"
-            << "         --nodes N --cores C         cluster shape (default 16x2)\n";
+int usage(const std::string& prog) {
+  std::cerr
+      << "usage: " << prog << " <subcommand> [options]\n"
+      << "\n"
+      << "subcommands:\n"
+      << "  scheme <file.scheme>   substrate-vs-model penalty report for one\n"
+      << "                         communication scheme (paper figs 4/7)\n"
+      << "    --network gige|myrinet|ib  interconnect calibration\n"
+      << "                               (default gige, the paper's IBM\n"
+      << "                               eServer 326 cluster)\n"
+      << "    --model <name>             penalty model: gige, myrinet,\n"
+      << "                               infiniband, loggp, kimlee\n"
+      << "                               (default: the network's own model)\n"
+      << "    --nodes N                  cluster nodes (default max(16,\n"
+      << "                               scheme nodes))\n"
+      << "    --cores C                  cores per node (default 2, the\n"
+      << "                               paper's dual-Opteron nodes)\n"
+      << "\n"
+      << "  trace <file.trace>     replay an application trace under a\n"
+      << "                         scheduling policy (paper figs 8/9)\n"
+      << "    --network gige|myrinet|ib  as above (default gige)\n"
+      << "    --schedule RRN|RRP|Random  placement policy (default RRN,\n"
+      << "                               §VI-A round-robin per node)\n"
+      << "    --nodes N --cores C        cluster shape (default 16x2)\n"
+      << "\n"
+      << "  sweep                  run a campaign grid in parallel\n"
+      << "                         (docs/EXPERIMENTS.md)\n"
+      << "    --schemes a,b,...          built-ins (fig2_s1..fig2_s6, fig4,\n"
+      << "                               fig5, mk1, mk2, optional @SIZE as\n"
+      << "                               in mk1@8M), .scheme paths, or\n"
+      << "                               generator specs family:key=value,...\n"
+      << "                               with families ring, hotspot,\n"
+      << "                               random, alltoall (default mk1,mk2)\n"
+      << "    --traces a,b,...           trace files (default none)\n"
+      << "    --networks a,b,...         (default gige,myrinet)\n"
+      << "    --models a,b,...           model names or 'network'\n"
+      << "                               (default gige,myrinet)\n"
+      << "    --shapes NxC,...           cluster shapes (default 16x2)\n"
+      << "    --schedules p1,p2,...      trace-cell policies (default RRN)\n"
+      << "    --seeds s1,s2,...          (default 1,2,3)\n"
+      << "    --threads N                worker threads (default: hardware)\n"
+      << "    --csv PATH --json PATH     write per-cell results\n"
+      << "    --marginals                print per-axis-value summaries\n";
   return 2;
+}
+
+/// Reject flags the subcommand does not understand; exit code 2.
+bool check_flags(const CliArgs& args, const std::string& subcommand,
+                 std::initializer_list<std::string_view> allowed) {
+  const auto unknown = args.unknown_flags(allowed);
+  for (const auto& flag : unknown) {
+    std::cerr << args.program() << " " << subcommand << ": unknown option --"
+              << flag << "\n";
+  }
+  return unknown.empty();
 }
 
 int run_scheme(const CliArgs& args, const std::string& path) {
@@ -99,17 +161,168 @@ int run_trace(const CliArgs& args, const std::string& path) {
   return 0;
 }
 
+std::vector<std::string> split_list(const CliArgs& args,
+                                    const std::string& flag,
+                                    const std::string& fallback) {
+  std::vector<std::string> out;
+  for (const auto& item : split(args.get(flag, fallback), ',')) {
+    const auto trimmed = trim(item);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+// Scheme lists are comma-separated, but generator specs carry commas of
+// their own ("random:nodes=8,comms=12"). A token that looks like a bare
+// key=value continues the preceding generator entry.
+std::vector<std::string> split_scheme_list(const CliArgs& args,
+                                           const std::string& flag,
+                                           const std::string& fallback) {
+  std::vector<std::string> out;
+  for (const auto& item : split_list(args, flag, fallback)) {
+    const bool continues_generator =
+        !out.empty() && out.back().find(':') != std::string::npos &&
+        item.find(':') == std::string::npos &&
+        item.find('=') != std::string::npos;
+    if (continues_generator) {
+      out.back() += "," + item;
+    } else {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+int run_sweep(const CliArgs& args) {
+  eval::SweepSpec spec;
+  spec.schemes = split_scheme_list(args, "schemes", "mk1,mk2");
+  spec.traces = split_list(args, "traces", "");
+  spec.networks.clear();
+  for (const auto& name : split_list(args, "networks", "gige,myrinet")) {
+    spec.networks.push_back(topo::network_tech_from_string(name));
+  }
+  spec.models = split_list(args, "models", "gige,myrinet");
+  spec.shapes.clear();
+  for (const auto& text : split_list(args, "shapes", "16x2")) {
+    spec.shapes.push_back(eval::parse_sweep_shape(text));
+  }
+  spec.policies.clear();
+  for (const auto& name : split_list(args, "schedules", "RRN")) {
+    spec.policies.push_back(sim::scheduling_policy_from_string(name));
+  }
+  spec.seeds.clear();
+  for (const auto& text : split_list(args, "seeds", "1,2,3")) {
+    // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+    bool digits = !text.empty();
+    for (const char c : text) digits = digits && c >= '0' && c <= '9';
+    BWS_CHECK(digits, "--seeds expects comma-separated non-negative "
+                      "integers, got '" + text + "'");
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long seed = std::strtoull(text.c_str(), &end, 10);
+    BWS_CHECK(errno == 0 && end && *end == '\0',
+              "--seeds value '" + text + "' is out of range");
+    spec.seeds.push_back(seed);
+  }
+
+  const eval::Sweep sweep(std::move(spec));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  const int effective_threads =
+      threads > 0 ? threads : util::ThreadPool::hardware_threads();
+  std::cout << "sweep: " << sweep.num_jobs() << " cells on "
+            << effective_threads << " thread(s)\n";
+  const auto result = sweep.run(threads);
+
+  TextTable table({"kind", "workload", "network", "model", "shape", "policy",
+                   "seed", "E_abs [%]", "status"});
+  for (const auto& cell : result.cells) {
+    table.add_row({cell.kind, cell.workload, cell.network, cell.model,
+                   strformat("%dx%d", cell.nodes, cell.cores), cell.policy,
+                   strformat("%llu",
+                             static_cast<unsigned long long>(cell.seed)),
+                   strformat("%.1f", cell.eabs_pct),
+                   cell.ok ? "ok" : "ERROR: " + cell.error});
+  }
+  std::cout << "\n" << table.render();
+
+  if (args.get_bool("marginals", false)) {
+    TextTable marg({"axis", "value", "cells", "mean E_abs [%]",
+                    "max E_abs [%]"});
+    for (const auto& m : result.marginals) {
+      marg.add_row({m.axis, m.value, strformat("%zu", m.cells),
+                    strformat("%.1f", m.mean_eabs_pct),
+                    strformat("%.1f", m.max_eabs_pct)});
+    }
+    std::cout << "\nmarginals:\n" << marg.render();
+  }
+
+  // A bare `--csv` parses as the value "true" (CliArgs boolean form) and
+  // would silently create a file literally named "true" — reject it.
+  const std::string csv_path = args.get("csv", "");
+  BWS_CHECK(csv_path != "true", "--csv expects a path, e.g. --csv cells.csv");
+  if (!csv_path.empty()) {
+    util::write_text_file(csv_path, result.to_csv());
+    std::cout << "\n[cells csv written to " << csv_path << "]\n";
+  }
+  const std::string json_path = args.get("json", "");
+  BWS_CHECK(json_path != "true",
+            "--json expects a path, e.g. --json cells.json");
+  if (!json_path.empty()) {
+    util::write_text_file(json_path, result.to_json());
+    std::cout << "[json written to " << json_path << "]\n";
+  }
+
+  if (result.num_errors > 0) {
+    std::cerr << "error: " << result.num_errors << " of "
+              << result.cells.size() << " sweep cells failed\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  if (args.positional().size() < 2) return usage(argv[0]);
+  const auto& pos = args.positional();
+  if (pos.empty()) return usage(args.program());
+  const std::string& subcommand = pos[0];
   try {
-    if (args.positional()[0] == "scheme")
-      return run_scheme(args, args.positional()[1]);
-    if (args.positional()[0] == "trace")
-      return run_trace(args, args.positional()[1]);
-    return usage(argv[0]);
+    if (subcommand == "scheme") {
+      if (pos.size() < 2 ||
+          !check_flags(args, subcommand,
+                       {"network", "model", "nodes", "cores"})) {
+        return usage(args.program());
+      }
+      return run_scheme(args, pos[1]);
+    }
+    if (subcommand == "trace") {
+      if (pos.size() < 2 ||
+          !check_flags(args, subcommand,
+                       {"network", "schedule", "nodes", "cores"})) {
+        return usage(args.program());
+      }
+      return run_trace(args, pos[1]);
+    }
+    if (subcommand == "sweep") {
+      // Workloads are flags (--schemes/--traces), never positionals; a
+      // stray positional would otherwise silently run the default grid.
+      if (pos.size() != 1) {
+        std::cerr << args.program() << " sweep: unexpected argument '"
+                  << pos[1] << "' (workloads go in --schemes/--traces)\n";
+        return usage(args.program());
+      }
+      if (!check_flags(args, subcommand,
+                       {"schemes", "traces", "networks", "models", "shapes",
+                        "schedules", "seeds", "threads", "csv", "json",
+                        "marginals"})) {
+        return usage(args.program());
+      }
+      return run_sweep(args);
+    }
+    std::cerr << args.program() << ": unknown subcommand '" << subcommand
+              << "'\n";
+    return usage(args.program());
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

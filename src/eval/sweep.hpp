@@ -1,0 +1,140 @@
+// Parallel experiment-sweep subsystem: the campaign runner behind
+// `bwshare_cli sweep` and the fig-7-style benches.
+//
+// The paper's evaluation is a grid — scheme × interconnect × model ×
+// cluster shape × schedule (figs 4–9) — that the seed repo ran one
+// hand-written bench cell at a time. A SweepSpec declares the whole grid;
+// Sweep expands it into independent jobs (the cross product, in a fixed
+// documented order) and executes them on a util::ThreadPool. Each job is
+// seeded deterministically from its own axis values, never from execution
+// order, so the emitted CSV/JSON is byte-identical at any thread count.
+//
+// Axis reference, defaults and the CSV/JSON column glossary live in
+// docs/EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "graph/generator.hpp"
+#include "sim/events.hpp"
+#include "sim/schedule.hpp"
+#include "topo/network.hpp"
+
+namespace bwshare::eval {
+
+/// One cluster shape cell: `nodes` SMP nodes with `cores` cores each.
+struct SweepShape {
+  int nodes = 16;
+  int cores = 2;
+};
+
+/// Parse "16x2" into a shape. Throws bwshare::Error on malformed input.
+[[nodiscard]] SweepShape parse_sweep_shape(const std::string& text);
+
+/// The declarative grid. Workloads are schemes (static comparison,
+/// eval::compare_scheme) and/or traces (application replay,
+/// eval::compare_application). Scheme cells cross every axis except
+/// `policies` (placement only matters when tasks are scheduled); trace
+/// cells cross all of them.
+struct SweepSpec {
+  /// Scheme axis entries, each one of:
+  ///   * a built-in paper scheme: fig2_s1..fig2_s6, fig4, fig5, mk1, mk2,
+  ///     optionally with a message-size override suffix ("mk1@8M");
+  ///   * a path ending in ".scheme" (parsed by graph/scheme_parser);
+  ///   * a generator spec "family:key=value,..." (graph/generator.hpp),
+  ///     expanded per cell with that cell's seed.
+  std::vector<std::string> schemes;
+  /// Trace axis entries: paths in the sim/trace_io format.
+  std::vector<std::string> traces;
+  std::vector<topo::NetworkTech> networks = {
+      topo::NetworkTech::kGigabitEthernet};
+  /// Penalty-model axis: models::make_model names, or the pseudo-name
+  /// "network" meaning "the model the paper pairs with the cell's
+  /// interconnect" (models::model_for).
+  std::vector<std::string> models = {"network"};
+  std::vector<SweepShape> shapes = {{16, 2}};
+  std::vector<sim::SchedulingPolicy> policies = {
+      sim::SchedulingPolicy::kRoundRobinNode};
+  /// Seed axis. A cell's seed drives scheme generation and random
+  /// placement; it is the only source of randomness in a sweep.
+  std::vector<uint64_t> seeds = {42};
+
+  /// Throws bwshare::Error if any axis is empty or no workload is given.
+  void validate() const;
+};
+
+/// One executed grid cell.
+struct SweepCell {
+  std::string kind;      // "scheme" | "trace"
+  std::string workload;  // the axis entry that produced this cell
+  std::string network;   // the CLI axis spelling: "gige" / "myrinet" / "ib"
+  std::string model;     // resolved model name
+  int nodes = 0;
+  int cores = 0;
+  std::string policy;    // "-" for scheme cells
+  uint64_t seed = 0;
+  int units = 0;         // communications (scheme) or tasks (trace)
+  double measured_s = 0.0;   // sum of T_m (scheme) / measured makespan
+  double predicted_s = 0.0;  // sum of T_p (scheme) / predicted makespan
+  double eabs_pct = 0.0;     // E_abs of the cell
+  double max_abs_erel_pct = 0.0;  // worst |E_rel| (scheme) / worst task E_abs
+  bool ok = false;
+  std::string error;     // populated when !ok
+};
+
+/// Marginal summary: all ok cells sharing one axis value.
+struct SweepMarginal {
+  std::string axis;   // "workload", "network", "model", "shape", ...
+  std::string value;
+  size_t cells = 0;
+  double mean_eabs_pct = 0.0;
+  double max_eabs_pct = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepCell> cells;      // in job-expansion order
+  std::vector<SweepMarginal> marginals;
+  size_t num_errors = 0;
+
+  /// Per-cell CSV (header in docs/EXPERIMENTS.md). Byte-identical for a
+  /// given spec regardless of the thread count it ran with.
+  [[nodiscard]] std::string to_csv() const;
+  /// Marginal-summary CSV.
+  [[nodiscard]] std::string marginals_to_csv() const;
+  /// {"cells": [...], "marginals": [...]} carrying the same values.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Sweep {
+ public:
+  /// Validates the spec and resolves every static workload (built-ins,
+  /// .scheme and trace files) up front; throws bwshare::Error on unknown
+  /// names, unreadable files or malformed generator specs.
+  explicit Sweep(SweepSpec spec);
+
+  [[nodiscard]] const SweepSpec& spec() const { return spec_; }
+  [[nodiscard]] size_t num_jobs() const;
+
+  /// Execute the grid on `threads` workers (0 = hardware threads). Cell
+  /// failures are recorded per cell (ok = false), never thrown.
+  [[nodiscard]] SweepResult run(int threads = 1) const;
+
+ private:
+  struct Workload {
+    std::string key;
+    std::shared_ptr<const graph::CommGraph> scheme;   // static scheme
+    std::optional<graph::GeneratorSpec> generator;    // seeded scheme
+    std::shared_ptr<const sim::AppTrace> trace;
+  };
+
+  SweepSpec spec_;
+  std::vector<Workload> scheme_workloads_;
+  std::vector<Workload> trace_workloads_;
+};
+
+}  // namespace bwshare::eval

@@ -1,0 +1,165 @@
+#include "graph/generator.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::graph {
+
+std::string to_string(SchemeFamily family) {
+  switch (family) {
+    case SchemeFamily::kRing: return "ring";
+    case SchemeFamily::kHotspot: return "hotspot";
+    case SchemeFamily::kUniformRandom: return "random";
+    case SchemeFamily::kAllToAll: return "alltoall";
+  }
+  BWS_THROW("invalid SchemeFamily");
+}
+
+SchemeFamily scheme_family_from_string(const std::string& name) {
+  if (name == "ring") return SchemeFamily::kRing;
+  if (name == "hotspot") return SchemeFamily::kHotspot;
+  if (name == "random") return SchemeFamily::kUniformRandom;
+  if (name == "alltoall") return SchemeFamily::kAllToAll;
+  BWS_THROW("unknown scheme family '" + name +
+            "' (expected ring, hotspot, random or alltoall)");
+}
+
+void GeneratorSpec::validate() const {
+  BWS_CHECK(nodes >= 2 && nodes <= 256,
+            strformat("generator: nodes must be in [2, 256], got %d", nodes));
+  if (family == SchemeFamily::kAllToAll) {
+    // The Myrinet model enumerates maximal independent sets of the conflict
+    // graph; on all-to-all that cost grows ~10x per node (measured: 2 s at
+    // 8 nodes, 19 s at 9), so larger instances would wedge a whole sweep.
+    BWS_CHECK(nodes <= 8,
+              strformat("generator: alltoall supports at most 8 nodes "
+                        "(got %d); the conflict state space explodes beyond",
+                        nodes));
+  }
+  if (family == SchemeFamily::kUniformRandom) {
+    BWS_CHECK(comms >= 0 && comms <= 4096,
+              strformat("generator: comms must be in [0, 4096], got %d",
+                        comms));
+  } else {
+    BWS_CHECK(comms == 0, "generator: comms is only meaningful for the "
+                          "random family");
+  }
+  BWS_CHECK(bytes > 0.0, strformat("generator: bytes must be > 0, got %g",
+                                   bytes));
+  BWS_CHECK(spread >= 0.0 && spread <= 8.0,
+            strformat("generator: spread must be in [0, 8], got %g", spread));
+}
+
+GeneratorSpec parse_generator_spec(std::string_view text) {
+  const auto colon = text.find(':');
+  BWS_CHECK(colon != std::string_view::npos,
+            "generator spec must look like 'family:key=value,...', got '" +
+                std::string(text) + "'");
+  GeneratorSpec spec;
+  spec.family =
+      scheme_family_from_string(std::string(trim(text.substr(0, colon))));
+  const std::string_view params = text.substr(colon + 1);
+  if (!trim(params).empty()) {
+    for (const auto& item : split(params, ',')) {
+      const auto eq = item.find('=');
+      BWS_CHECK(eq != std::string::npos,
+                "generator parameter '" + item + "' is not key=value");
+      const std::string key(trim(std::string_view(item).substr(0, eq)));
+      const std::string value(trim(std::string_view(item).substr(eq + 1)));
+      char* end = nullptr;
+      // Bounds-checked before the int cast: strtol's long would otherwise
+      // wrap values like 2^32+2 into the valid range silently.
+      const auto parse_int = [&end, &value](const char* what) {
+        const long v = std::strtol(value.c_str(), &end, 10);
+        BWS_CHECK(end && *end == '\0',
+                  strformat("generator: %s expects an integer, got '%s'",
+                            what, value.c_str()));
+        BWS_CHECK(v >= -1000000 && v <= 1000000,
+                  strformat("generator: %s value '%s' is out of range", what,
+                            value.c_str()));
+        return static_cast<int>(v);
+      };
+      if (key == "nodes") {
+        spec.nodes = parse_int("nodes");
+      } else if (key == "comms") {
+        spec.comms = parse_int("comms");
+      } else if (key == "bytes") {
+        spec.bytes = parse_size(value);
+      } else if (key == "spread") {
+        spec.spread = std::strtod(value.c_str(), &end);
+        BWS_CHECK(end && *end == '\0',
+                  "generator: spread expects a number, got '" + value + "'");
+      } else {
+        BWS_THROW("generator: unknown parameter '" + key +
+                  "' (expected nodes, comms, bytes or spread)");
+      }
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+namespace {
+
+double draw_bytes(const GeneratorSpec& spec, Rng& rng) {
+  if (spec.spread == 0.0) return spec.bytes;
+  return spec.bytes * std::exp2(rng.uniform(-spec.spread, spec.spread));
+}
+
+}  // namespace
+
+CommGraph generate_scheme(const GeneratorSpec& spec, uint64_t seed) {
+  spec.validate();
+  // Salt the seed with the family so e.g. ring and hotspot at the same seed
+  // do not share their size draws.
+  uint64_t salt = seed ^ (0x9e3779b97f4a7c15ULL *
+                          (static_cast<uint64_t>(spec.family) + 1));
+  Rng rng(splitmix64(salt));
+  CommGraph g;
+  const int n = spec.nodes;
+  switch (spec.family) {
+    case SchemeFamily::kRing:
+      for (int i = 0; i < n; ++i) {
+        g.add(strformat("c%d", i), i, (i + 1) % n, draw_bytes(spec, rng));
+      }
+      break;
+    case SchemeFamily::kHotspot:
+      // Node 0 is the hot spot; node 1 always sends into it so every
+      // instance has at least one income conflict.
+      for (int v = 1; v < n; ++v) {
+        const bool into_hotspot = v == 1 || rng.below(2) == 0;
+        const int src = into_hotspot ? v : 0;
+        const int dst = into_hotspot ? 0 : v;
+        g.add(strformat("c%d", v - 1), src, dst, draw_bytes(spec, rng));
+      }
+      break;
+    case SchemeFamily::kUniformRandom: {
+      const int m = spec.comms == 0 ? 2 * n : spec.comms;
+      for (int k = 0; k < m; ++k) {
+        const int src = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+        int dst = static_cast<int>(rng.below(static_cast<uint64_t>(n - 1)));
+        if (dst >= src) ++dst;  // uniform over the n-1 non-self targets
+        g.add(strformat("c%d", k), src, dst, draw_bytes(spec, rng));
+      }
+      break;
+    }
+    case SchemeFamily::kAllToAll:
+      for (int src = 0; src < n; ++src) {
+        for (int dst = 0; dst < n; ++dst) {
+          if (src == dst) continue;
+          g.add(strformat("c%d_%d", src, dst), src, dst,
+                draw_bytes(spec, rng));
+        }
+      }
+      break;
+  }
+  return g;
+}
+
+}  // namespace bwshare::graph

@@ -1,0 +1,60 @@
+// Seeded synthetic communication-scheme generator — the scenario-diversity
+// source for eval::Sweep campaigns. The four checked-in .scheme files and the
+// paper's built-in figures cover a handful of shapes; the generator produces
+// unbounded families of them, reproducibly from a single seed (util/rng.hpp):
+//
+//   ring      task i -> i+1 around `nodes` nodes (the §VI-D HPL pattern)
+//   hotspot   every other node either sends into or receives from node 0
+//             (seed-chosen direction per node; income/outgo congestion)
+//   random    `comms` arcs with uniform endpoints, src != dst
+//   alltoall  every ordered pair, the densest conflict structure
+//
+// Message sizes: uniform `bytes`, or a log-uniform mix when `spread` > 0
+// (each size is bytes * 2^U(-spread, +spread)).
+//
+// Specs parse from the sweep axis syntax "family:key=value,...", e.g.
+// "random:nodes=12,comms=18,bytes=4M,spread=1".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/comm_graph.hpp"
+
+namespace bwshare::graph {
+
+enum class SchemeFamily { kRing, kHotspot, kUniformRandom, kAllToAll };
+
+[[nodiscard]] std::string to_string(SchemeFamily family);
+[[nodiscard]] SchemeFamily scheme_family_from_string(const std::string& name);
+
+struct GeneratorSpec {
+  SchemeFamily family = SchemeFamily::kUniformRandom;
+  /// Cluster nodes in the scheme; [2, 256] (alltoall: [2, 8], the Myrinet
+  /// model's state enumeration is exponential in conflict density).
+  int nodes = 8;
+  /// Arc count for the random family only; 0 means 2 * nodes. Other
+  /// families derive it from `nodes`.
+  int comms = 0;
+  /// Base message size in bytes, > 0 (paper figures use 4 MB / 20 MB).
+  double bytes = 4e6;
+  /// Size-mix exponent in [0, 8]: sizes are bytes * 2^U(-spread, +spread);
+  /// 0 gives uniform sizes.
+  double spread = 0.0;
+
+  /// Throws bwshare::Error on any out-of-range parameter.
+  void validate() const;
+};
+
+/// Parse "family:key=value,..." (keys: nodes, comms, bytes, spread; bytes
+/// accepts util/strings.hpp size suffixes). "family:" alone means defaults.
+/// Throws bwshare::Error on unknown family, unknown key, malformed value,
+/// or an invalid resulting spec.
+[[nodiscard]] GeneratorSpec parse_generator_spec(std::string_view text);
+
+/// Deterministically expand `spec` with `seed`: identical (spec, seed) pairs
+/// always yield identical graphs, independent of platform or thread count.
+[[nodiscard]] CommGraph generate_scheme(const GeneratorSpec& spec,
+                                        uint64_t seed);
+
+}  // namespace bwshare::graph

@@ -2,6 +2,7 @@
 // (§II): the LogP/LogGP family, which ignores sharing entirely, and the
 // Kim-Lee Myrinet model [7], which multiplies a piecewise-linear cost by the
 // maximum number of communications in the sharing conflict.
+// Reference entries: docs/MODELS.md §"Linear LogGP" / §"Kim–Lee".
 #pragma once
 
 #include "models/penalty_model.hpp"

@@ -2,7 +2,7 @@
 //
 // Reproduces: Fig. 2 column 1 (measured GigE penalties 1.5 / 2.25), Fig. 4
 // (γo/γi parameter estimation schemes) and feeds the Fig. 8 HPL-on-GigE
-// prediction.
+// prediction. Reference entry: docs/MODELS.md §"Gigabit Ethernet".
 //
 // A quantitative model with three card-specific parameters:
 //   β   — per-stream sharing efficiency (fig 2: two streams cost 1.5 = 2β,

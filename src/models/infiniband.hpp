@@ -3,7 +3,7 @@
 // Reproduces: Fig. 2 column 3 (measured InfiniBand penalties, in particular
 // scheme 5's 3.66 / 2.035 split). The paper's conclusion lists this model as
 // work in progress; the formulation below is our extension of §V to
-// credit-based flow control.
+// credit-based flow control. Reference entry: docs/MODELS.md §"InfiniBand".
 //
 // The paper's conclusion lists this model as work in progress; we implement
 // it as the natural extension the measured behaviour suggests (fig 2, third

@@ -2,7 +2,7 @@
 //
 // Reproduces: the feasible send-set enumeration behind the paper's Fig. 5/6
 // Myrinet state tables (§V-B); the MyrinetModel's emission coefficients are
-// counts over the sets enumerated here.
+// counts over the sets enumerated here. See docs/MODELS.md §"Myrinet 2000".
 //
 // The Myrinet model (paper §V-B) considers every feasible combination of
 // communication states where a communication is either "send" or "wait",

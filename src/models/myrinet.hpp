@@ -2,7 +2,7 @@
 //
 // Reproduces: Fig. 2 column 2 (measured Myrinet penalties), the Fig. 5/6
 // send/wait state enumeration, and feeds the Fig. 9 HPL-on-Myrinet
-// prediction.
+// prediction. Reference entry: docs/MODELS.md §"Myrinet 2000".
 //
 // A descriptive model built on the NIC's Stop & Go flow control: at any
 // moment each communication is either sending or waiting, and a sending

@@ -3,6 +3,7 @@
 // Reproduces: the §IV-B penalty definition p_i = T_i / T_ref that every
 // figure of the paper is phrased in; concrete models (gige.hpp §V-A,
 // myrinet.hpp §V-B, infiniband.hpp, baselines.hpp §II) implement it.
+// Per-model equations, parameters and CLI invocations: docs/MODELS.md.
 //
 // A penalty model looks at a communication graph — the set of point-to-point
 // communications that are in flight at the same time — and assigns each

@@ -30,6 +30,22 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
   }
 }
 
+std::vector<std::string> CliArgs::unknown_flags(
+    std::initializer_list<std::string_view> allowed) const {
+  std::vector<std::string> unknown;
+  for (const auto& entry : values_) {
+    bool found = false;
+    for (const auto candidate : allowed) {
+      if (entry.first == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(entry.first);
+  }
+  return unknown;  // values_ is an ordered map, so already alphabetical
+}
+
 bool CliArgs::has(const std::string& name) const {
   return values_.count(name) != 0;
 }

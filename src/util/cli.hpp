@@ -2,9 +2,11 @@
 // Supports `--name value`, `--name=value` and boolean `--flag` forms.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace bwshare {
@@ -25,6 +27,12 @@ class CliArgs {
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
+
+  /// Flags given on the command line but absent from `allowed`, in
+  /// alphabetical order. Lets binaries reject typos ("--node" for
+  /// "--nodes") instead of silently ignoring them.
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      std::initializer_list<std::string_view> allowed) const;
   [[nodiscard]] const std::string& program() const { return program_; }
 
  private:

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -59,25 +60,12 @@ std::string TextTable::render(int indent) const {
   return os.str();
 }
 
-namespace {
-std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
-  std::string out = "\"";
-  for (char ch : cell) {
-    if (ch == '"') out += "\"\"";
-    else out += ch;
-  }
-  out += '"';
-  return out;
-}
-}  // namespace
-
 std::string TextTable::to_csv() const {
   std::ostringstream os;
   auto emit = [&](const std::vector<std::string>& cells) {
     for (size_t c = 0; c < cells.size(); ++c) {
       if (c) os << ',';
-      os << csv_escape(cells[c]);
+      os << util::csv_escape(cells[c]);
     }
     os << '\n';
   };

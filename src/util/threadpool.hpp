@@ -1,0 +1,60 @@
+// Fixed-size worker pool for CPU-bound fan-out (the eval::Sweep campaign
+// runner). Deliberately minimal: submit void() jobs, wait until the queue
+// drains. Determinism is the caller's job — sweep jobs write results into
+// pre-allocated slots keyed by job index, so output never depends on
+// completion order or thread count.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bwshare::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers; 0 means hardware_threads().
+  explicit ThreadPool(int num_threads = 0);
+  /// Joins all workers; pending jobs still in the queue are discarded.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Jobs may themselves submit further jobs.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished. If any job threw, the
+  /// first exception is rethrown here (later ones are dropped). The pool
+  /// stays usable after wait_idle().
+  void wait_idle();
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency() clamped to >= 1.
+  [[nodiscard]] static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;   // workers wait for jobs
+  std::condition_variable cv_idle_;   // wait_idle waits for quiescence
+  size_t in_flight_ = 0;              // jobs popped but not finished
+  bool stop_ = false;
+  std::exception_ptr first_error_;    // guarded by mu_
+};
+
+/// Run fn(0), ..., fn(n-1) across the pool and wait for all of them.
+/// Rethrows the first exception any iteration produced.
+void parallel_for(ThreadPool& pool, int n, const std::function<void(int)>& fn);
+
+}  // namespace bwshare::util

@@ -1,0 +1,164 @@
+#include "graph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bwshare::graph {
+namespace {
+
+// Structural equality down to message sizes — the determinism contract.
+void expect_identical(const CommGraph& a, const CommGraph& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (CommId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.comm(i).label, b.comm(i).label);
+    EXPECT_EQ(a.comm(i).src, b.comm(i).src);
+    EXPECT_EQ(a.comm(i).dst, b.comm(i).dst);
+    EXPECT_EQ(a.comm(i).bytes, b.comm(i).bytes);  // bit-exact, no tolerance
+  }
+}
+
+TEST(SchemeFamily, RoundTripsThroughStrings) {
+  for (const auto family :
+       {SchemeFamily::kRing, SchemeFamily::kHotspot,
+        SchemeFamily::kUniformRandom, SchemeFamily::kAllToAll}) {
+    EXPECT_EQ(scheme_family_from_string(to_string(family)), family);
+  }
+  EXPECT_THROW((void)scheme_family_from_string("torus"), Error);
+}
+
+TEST(GeneratorSpec, ParsesFullSpec) {
+  const auto spec =
+      parse_generator_spec("random:nodes=12,comms=18,bytes=4M,spread=1");
+  EXPECT_EQ(spec.family, SchemeFamily::kUniformRandom);
+  EXPECT_EQ(spec.nodes, 12);
+  EXPECT_EQ(spec.comms, 18);
+  EXPECT_DOUBLE_EQ(spec.bytes, 4e6);
+  EXPECT_DOUBLE_EQ(spec.spread, 1.0);
+}
+
+TEST(GeneratorSpec, EmptyParamsMeanDefaults) {
+  const auto spec = parse_generator_spec("ring:");
+  EXPECT_EQ(spec.family, SchemeFamily::kRing);
+  EXPECT_EQ(spec.nodes, 8);
+  EXPECT_DOUBLE_EQ(spec.bytes, 4e6);
+}
+
+TEST(GeneratorSpec, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_generator_spec("ring"), Error);  // no colon
+  EXPECT_THROW((void)parse_generator_spec("torus:nodes=4"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:nodes"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:nodes=abc"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:sides=4"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:bytes=4Q"), Error);
+}
+
+TEST(GeneratorSpec, ValidatesRanges) {
+  EXPECT_THROW((void)parse_generator_spec("ring:nodes=1"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:nodes=257"), Error);
+  EXPECT_THROW((void)parse_generator_spec("alltoall:nodes=9"), Error);
+  EXPECT_THROW((void)parse_generator_spec("random:comms=5000"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:comms=4"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:bytes=0"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:spread=9"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:spread=-1"), Error);
+}
+
+TEST(GeneratorSpec, RejectsValuesThatWouldWrapTheIntCast) {
+  // 2^32+2 must not silently truncate into the valid [2, 256] range.
+  EXPECT_THROW((void)parse_generator_spec("random:nodes=4294967298"), Error);
+  EXPECT_THROW((void)parse_generator_spec("random:comms=4294967298"), Error);
+  EXPECT_THROW((void)parse_generator_spec("ring:nodes=99999999999999999999"),
+               Error);
+}
+
+TEST(GenerateScheme, RingStructure) {
+  const auto g =
+      generate_scheme(parse_generator_spec("ring:nodes=6,bytes=1M"), 7);
+  ASSERT_EQ(g.size(), 6);
+  for (CommId i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g.comm(i).src, i);
+    EXPECT_EQ(g.comm(i).dst, (i + 1) % 6);
+    EXPECT_DOUBLE_EQ(g.comm(i).bytes, 1e6);
+  }
+}
+
+TEST(GenerateScheme, AllToAllHasEveryOrderedPair) {
+  const auto g =
+      generate_scheme(parse_generator_spec("alltoall:nodes=5"), 1);
+  EXPECT_EQ(g.size(), 5 * 4);
+  EXPECT_EQ(g.num_nodes(), 5);
+  for (const auto& c : g.comms()) EXPECT_NE(c.src, c.dst);
+}
+
+TEST(GenerateScheme, HotspotArcsAllTouchNodeZero) {
+  const auto g =
+      generate_scheme(parse_generator_spec("hotspot:nodes=9"), 3);
+  EXPECT_EQ(g.size(), 8);
+  bool any_incoming = false;
+  for (const auto& c : g.comms()) {
+    EXPECT_TRUE(c.src == 0 || c.dst == 0);
+    EXPECT_NE(c.src, c.dst);
+    if (c.dst == 0) any_incoming = true;
+  }
+  EXPECT_TRUE(any_incoming);  // node 1 always sends into the hotspot
+}
+
+TEST(GenerateScheme, RandomFamilyRespectsCounts) {
+  const auto g = generate_scheme(
+      parse_generator_spec("random:nodes=7,comms=25"), 11);
+  EXPECT_EQ(g.size(), 25);
+  for (const auto& c : g.comms()) {
+    EXPECT_GE(c.src, 0);
+    EXPECT_LT(c.src, 7);
+    EXPECT_GE(c.dst, 0);
+    EXPECT_LT(c.dst, 7);
+    EXPECT_NE(c.src, c.dst);
+  }
+}
+
+TEST(GenerateScheme, RandomCommsDefaultsToTwiceNodes) {
+  const auto g =
+      generate_scheme(parse_generator_spec("random:nodes=5"), 11);
+  EXPECT_EQ(g.size(), 10);
+}
+
+TEST(GenerateScheme, StableForAFixedSeed) {
+  for (const char* spec_text :
+       {"ring:nodes=8,spread=2", "hotspot:nodes=12,spread=1",
+        "random:nodes=10,comms=20,spread=0.5", "alltoall:nodes=4"}) {
+    const auto spec = parse_generator_spec(spec_text);
+    expect_identical(generate_scheme(spec, 123), generate_scheme(spec, 123));
+  }
+}
+
+TEST(GenerateScheme, DifferentSeedsDiffer) {
+  const auto spec = parse_generator_spec("random:nodes=16,comms=40");
+  const auto a = generate_scheme(spec, 1);
+  const auto b = generate_scheme(spec, 2);
+  bool any_difference = false;
+  for (CommId i = 0; i < a.size(); ++i) {
+    if (a.comm(i).src != b.comm(i).src || a.comm(i).dst != b.comm(i).dst) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GenerateScheme, SpreadBoundsMessageSizes) {
+  const auto spec = parse_generator_spec("random:nodes=8,bytes=1M,spread=2");
+  const auto g = generate_scheme(spec, 5);
+  bool any_off_base = false;
+  for (const auto& c : g.comms()) {
+    EXPECT_GE(c.bytes, 1e6 * std::exp2(-2.0));
+    EXPECT_LE(c.bytes, 1e6 * std::exp2(2.0));
+    if (c.bytes != 1e6) any_off_base = true;
+  }
+  EXPECT_TRUE(any_off_base);
+}
+
+}  // namespace
+}  // namespace bwshare::graph

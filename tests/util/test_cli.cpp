@@ -60,5 +60,23 @@ TEST(Cli, Defaults) {
   EXPECT_FALSE(args.has("missing"));
 }
 
+TEST(Cli, UnknownFlagsReportsFlagsOutsideTheAllowlist) {
+  const auto args = make({"--network", "gige", "--nodez", "9", "--csv"});
+  EXPECT_EQ(args.unknown_flags({"network", "nodes", "csv"}),
+            (std::vector<std::string>{"nodez"}));
+}
+
+TEST(Cli, UnknownFlagsEmptyWhenAllAllowed) {
+  const auto args = make({"--a", "1", "--b", "2"});
+  EXPECT_TRUE(args.unknown_flags({"a", "b", "c"}).empty());
+  EXPECT_TRUE(make({}).unknown_flags({}).empty());
+}
+
+TEST(Cli, UnknownFlagsSortedAlphabetically) {
+  const auto args = make({"--zeta", "1", "--alpha", "2"});
+  EXPECT_EQ(args.unknown_flags({}),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
 }  // namespace
 }  // namespace bwshare

@@ -1,0 +1,94 @@
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bwshare::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, RejectsAbsurdThreadCounts) {
+  // Checked before any thread spawns, so a typo'd --threads fails cleanly
+  // instead of exhausting the process rlimit.
+  EXPECT_THROW(ThreadPool{4097}, Error);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(57);
+  parallel_for(pool, 57, [&hits](int i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](int) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstJobException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("job failed"); });
+  EXPECT_THROW(pool.wait_idle(), Error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SubmitRejectsEmptyJob) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), Error);
+}
+
+TEST(ThreadPool, JobsMaySubmitMoreJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.submit([&counter] { counter.fetch_add(10); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, SingleThreadedPoolStillDrains) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  // One worker: jobs run in submission order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace bwshare::util
