@@ -1,0 +1,239 @@
+// Engine event-loop scaling: full vs incremental component-scoped rate
+// refresh (sim::RefreshMode, docs/PERFORMANCE.md).
+//
+// Scenario: a sparse schedule on N nodes — per round, a seeded random
+// perfect matching where every node either sends or receives exactly one
+// rendezvous message, rounds separated by barriers. The conflict graph of
+// each round is N/2 disjoint pairs, the regime where a full re-solve on
+// every event does maximal wasted work and the component-scoped solver
+// touches O(1) communications per event.
+//
+// Emits BENCH_engine.json (schema in docs/PERFORMANCE.md) so the repo keeps
+// a machine-readable perf trajectory. Node counts above --max-full-nodes
+// run the incremental path only (the full solve becomes quadratic-plus and
+// would dominate the bench's wall time); their full_ms/speedup fields are
+// null. Every cell with a full measurement also replays the schedule in
+// RefreshMode::kCrossCheck — per-event rate equivalence — and compares
+// per-communication completion times between the two modes.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "flowsim/fluid_network.hpp"
+#include "models/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/rate_model.hpp"
+#include "sim/schedule.hpp"
+#include "topo/cluster.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace bwshare;
+
+sim::AppTrace sparse_matching_trace(int nodes, int rounds, double bytes,
+                                    uint64_t seed) {
+  sim::AppTrace trace(nodes);
+  Rng rng(seed);
+  std::vector<int> order(static_cast<size_t>(nodes));
+  std::iota(order.begin(), order.end(), 0);
+  for (int r = 0; r < rounds; ++r) {
+    // Seeded Fisher-Yates: a fresh perfect matching every round.
+    for (int i = nodes - 1; i > 0; --i) {
+      const int j = static_cast<int>(rng.below(static_cast<uint64_t>(i + 1)));
+      std::swap(order[static_cast<size_t>(i)], order[static_cast<size_t>(j)]);
+    }
+    for (int p = 0; p + 1 < nodes; p += 2) {
+      const sim::TaskId src = order[static_cast<size_t>(p)];
+      const sim::TaskId dst = order[static_cast<size_t>(p + 1)];
+      trace.push(src, sim::Event::send(dst, bytes));
+      trace.push(dst, sim::Event::recv(src, bytes));
+    }
+    trace.push_barrier_all();
+  }
+  return trace;
+}
+
+struct Run {
+  double wall_ms = 0.0;
+  sim::SimResult result;
+};
+
+Run timed_run(const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
+              const sim::Placement& placement,
+              const flowsim::RateProvider& provider, sim::RefreshMode mode) {
+  Run out;
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::EngineConfig cfg;
+  cfg.refresh = mode;
+  out.result = sim::run_simulation(trace, cluster, placement, provider, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  return out;
+}
+
+/// Max relative difference over per-communication finish times + makespan.
+double max_rel_err(const sim::SimResult& a, const sim::SimResult& b) {
+  BWS_CHECK(a.comms.size() == b.comms.size(),
+            "refresh modes produced different communication counts");
+  double worst = 0.0;
+  const auto rel = [](double x, double y) {
+    const double scale = std::max(std::abs(x), std::abs(y));
+    return scale == 0.0 ? 0.0 : std::abs(x - y) / scale;
+  };
+  for (size_t i = 0; i < a.comms.size(); ++i)
+    worst = std::max(worst, rel(a.comms[i].finish, b.comms[i].finish));
+  worst = std::max(worst, rel(a.makespan, b.makespan));
+  return worst;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  return strformat("%.9g", v);
+}
+
+void usage(const char* prog) {
+  std::cout
+      << "usage: " << prog << " [options]\n"
+      << "  --nodes N,N,...       node counts (default 64,128,256,512,1024,"
+         "2048,4096)\n"
+      << "  --rounds R            matching rounds per scenario (default 3)\n"
+      << "  --bytes B             message size in bytes (default 4000000)\n"
+      << "  --seed S              matching seed (default 1)\n"
+      << "  --providers LIST      fluid and/or gige (default fluid)\n"
+      << "  --max-full-nodes N    largest size timing the full refresh and\n"
+      << "                        running the cross-check (default 1024)\n"
+      << "  --out PATH            JSON output (default BENCH_engine.json)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.get_bool("help", false)) {
+    usage(args.program().c_str());
+    return 0;
+  }
+  const auto unknown = args.unknown_flags({"nodes", "rounds", "bytes", "seed",
+                                           "providers", "max-full-nodes",
+                                           "out", "help"});
+  if (!unknown.empty()) {
+    std::cerr << "error: unknown flag --" << unknown.front() << "\n";
+    usage(args.program().c_str());
+    return 2;
+  }
+
+  const std::string nodes_list =
+      args.get("nodes", "64,128,256,512,1024,2048,4096");
+  const int rounds = static_cast<int>(args.get_int("rounds", 3));
+  const double bytes = args.get_double("bytes", 4e6);
+  const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
+  const long max_full = args.get_int("max-full-nodes", 1024);
+  const std::string out_path = args.get("out", "BENCH_engine.json");
+  const std::string providers = args.get("providers", "fluid");
+
+  std::vector<int> sizes;
+  for (const auto& tok : split(nodes_list, ','))
+    sizes.push_back(static_cast<int>(parse_size(trim(tok))));
+  std::vector<std::string> provider_names = split(providers, ',');
+
+  const auto cal = topo::gigabit_ethernet_calibration();
+  std::string rows;
+  bool all_equivalent = true;
+
+  std::printf("%-8s %-7s %10s %14s %9s %12s  %s\n", "provider", "nodes",
+              "full_ms", "incremental_ms", "speedup", "max_rel_err",
+              "crosscheck");
+  for (const auto& pname : provider_names) {
+    const flowsim::FluidRateProvider fluid(cal);
+    std::shared_ptr<const models::PenaltyModel> model;
+    std::unique_ptr<sim::ModelRateProvider> model_provider;
+    const flowsim::RateProvider* provider = &fluid;
+    if (pname == "gige") {
+      model = models::make_model("gige");
+      model_provider = std::make_unique<sim::ModelRateProvider>(model, cal);
+      provider = model_provider.get();
+    } else {
+      BWS_CHECK(pname == "fluid", "unknown provider '" + pname + "'");
+    }
+
+    for (const int n : sizes) {
+      BWS_CHECK(n >= 2, "node counts must be at least 2");
+      const auto trace = sparse_matching_trace(n, rounds, bytes, seed);
+      const auto cluster = topo::ClusterSpec::uniform("bench", n, 1, cal);
+      const auto placement = sim::make_placement(
+          sim::SchedulingPolicy::kRoundRobinNode, cluster, n);
+
+      const Run inc = timed_run(trace, cluster, placement, *provider,
+                                sim::RefreshMode::kIncremental);
+      const bool with_full = n <= max_full;
+      double full_ms = -1.0;
+      double speedup = -1.0;
+      double err = -1.0;
+      bool crosschecked = false;
+      if (with_full) {
+        const Run full = timed_run(trace, cluster, placement, *provider,
+                                   sim::RefreshMode::kFull);
+        full_ms = full.wall_ms;
+        speedup = inc.wall_ms > 0.0 ? full.wall_ms / inc.wall_ms : -1.0;
+        err = max_rel_err(full.result, inc.result);
+        if (err > 1e-9) all_equivalent = false;
+        // Per-event rate equivalence: throws (and fails the bench) on any
+        // divergence beyond 1e-9 relative.
+        (void)timed_run(trace, cluster, placement, *provider,
+                        sim::RefreshMode::kCrossCheck);
+        crosschecked = true;
+      }
+
+      std::printf("%-8s %-7d %10s %14.3f %9s %12s  %s\n", pname.c_str(), n,
+                  with_full ? strformat("%.3f", full_ms).c_str() : "-",
+                  inc.wall_ms,
+                  with_full ? strformat("%.2fx", speedup).c_str() : "-",
+                  with_full ? strformat("%.3g", err).c_str() : "-",
+                  crosschecked ? "ok" : "skipped");
+      std::fflush(stdout);
+
+      if (!rows.empty()) rows += ",";
+      rows += strformat(
+          "\n    {\"provider\": \"%s\", \"nodes\": %d, "
+          "\"comms_per_round\": %d, \"rounds\": %d, "
+          "\"makespan\": %s, \"full_ms\": %s, \"incremental_ms\": %s, "
+          "\"speedup\": %s, \"max_rel_err\": %s, \"crosscheck\": %s}",
+          pname.c_str(), n, n / 2, rounds, json_num(inc.result.makespan).c_str(),
+          with_full ? json_num(full_ms).c_str() : "null",
+          json_num(inc.wall_ms).c_str(),
+          with_full ? json_num(speedup).c_str() : "null",
+          with_full ? json_num(err).c_str() : "null",
+          crosschecked ? "true" : "false");
+    }
+  }
+
+  const std::string json = strformat(
+      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 1,\n"
+      "  \"config\": {\"rounds\": %d, \"bytes\": %s, \"seed\": %llu, "
+      "\"max_full_nodes\": %ld},\n  \"results\": [%s\n  ]\n}\n",
+      rounds, json_num(bytes).c_str(),
+      static_cast<unsigned long long>(seed), max_full, rows.c_str());
+  util::write_text_file(out_path, json);
+  std::cout << "  [json written to " << out_path << "]\n";
+
+  if (!all_equivalent) {
+    std::cerr << "error: full and incremental completion times diverged "
+                 "beyond 1e-9 relative\n";
+    return 1;
+  }
+  return 0;
+}

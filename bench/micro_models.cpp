@@ -6,6 +6,7 @@
 #include "graph/schemes.hpp"
 #include "models/registry.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -18,7 +19,7 @@ graph::CommGraph random_comms(int comms, int nodes, uint64_t seed) {
     const int src = static_cast<int>(rng.below(static_cast<uint64_t>(nodes)));
     int dst = static_cast<int>(rng.below(static_cast<uint64_t>(nodes)));
     if (dst == src) dst = (dst + 1) % nodes;
-    g.add("c" + std::to_string(i), src, dst, 4e6);
+    g.add(strformat("c%d", i), src, dst, 4e6);
   }
   return g;
 }

@@ -3,10 +3,85 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
 namespace bwshare::flowsim {
+
+std::vector<double> RateProvider::rates(
+    const graph::CommGraph& active,
+    std::span<const graph::CommId> subset) const {
+  // Safe default for providers without a restricted solver: solve the full
+  // graph and project. Always exact, never faster.
+  const auto all = rates(active);
+  std::vector<double> out;
+  out.reserve(subset.size());
+  for (const graph::CommId id : subset) {
+    BWS_CHECK(id >= 0 && id < active.size(), "subset comm id out of range");
+    out.push_back(all[static_cast<size_t>(id)]);
+  }
+  return out;
+}
+
+std::vector<int> RateProvider::coupling_keys(topo::NodeId /*src*/,
+                                             topo::NodeId /*dst*/) const {
+  return {};
+}
+
+bool RateProvider::covers_all(std::span<const graph::CommId> subset,
+                              int size) {
+  if (static_cast<int>(subset.size()) != size) return false;
+  for (size_t k = 0; k < subset.size(); ++k)
+    if (subset[k] != static_cast<graph::CommId>(k)) return false;
+  return true;
+}
+
+std::vector<graph::CommId> RateProvider::coupling_closure(
+    const graph::CommGraph& active,
+    std::span<const graph::CommId> subset) const {
+  const int n = active.size();
+  std::unordered_map<topo::NodeId, std::vector<graph::CommId>> at_node;
+  std::unordered_map<int, std::vector<graph::CommId>> at_key;
+  std::vector<std::vector<int>> keys(static_cast<size_t>(n));
+  for (graph::CommId i = 0; i < n; ++i) {
+    const auto& c = active.comm(i);
+    at_node[c.src].push_back(i);
+    if (c.dst != c.src) at_node[c.dst].push_back(i);
+    keys[static_cast<size_t>(i)] = coupling_keys(c.src, c.dst);
+    for (const int k : keys[static_cast<size_t>(i)]) at_key[k].push_back(i);
+  }
+
+  std::vector<char> in(static_cast<size_t>(n), 0);
+  std::vector<graph::CommId> stack;
+  for (const graph::CommId id : subset) {
+    BWS_CHECK(id >= 0 && id < n, "subset comm id out of range");
+    if (!in[static_cast<size_t>(id)]) {
+      in[static_cast<size_t>(id)] = 1;
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const graph::CommId i = stack.back();
+    stack.pop_back();
+    const auto visit = [&](const std::vector<graph::CommId>& coupled) {
+      for (const graph::CommId j : coupled) {
+        if (in[static_cast<size_t>(j)]) continue;
+        in[static_cast<size_t>(j)] = 1;
+        stack.push_back(j);
+      }
+    };
+    const auto& c = active.comm(i);
+    visit(at_node.at(c.src));
+    if (c.dst != c.src) visit(at_node.at(c.dst));
+    for (const int k : keys[static_cast<size_t>(i)]) visit(at_key.at(k));
+  }
+
+  std::vector<graph::CommId> closed;
+  for (graph::CommId i = 0; i < n; ++i)
+    if (in[static_cast<size_t>(i)]) closed.push_back(i);
+  return closed;
+}
 
 FluidRateProvider::FluidRateProvider(topo::NetworkCalibration cal,
                                      std::optional<topo::FatTree> topology)
@@ -114,6 +189,41 @@ std::vector<double> FluidRateProvider::rates(
     const graph::CommGraph& active) const {
   if (active.empty()) return {};
   return max_min_rates(build_problem(active));
+}
+
+std::vector<int> FluidRateProvider::coupling_keys(topo::NodeId src,
+                                                  topo::NodeId dst) const {
+  if (!topology_ || src == dst) return {};
+  std::vector<int> keys;
+  for (const topo::LinkId l : topology_->route(src, dst)) {
+    if (l == topology_->host_uplink(src) || l == topology_->host_downlink(dst))
+      continue;
+    keys.push_back(l);
+  }
+  return keys;
+}
+
+std::vector<double> FluidRateProvider::rates(
+    const graph::CommGraph& active,
+    std::span<const graph::CommId> subset) const {
+  if (subset.empty()) return {};
+  // Common fast path (the engine hands us a self-contained component
+  // graph): no induction needed.
+  if (covers_all(subset, active.size())) return rates(active);
+
+  // Expand to the coupling closure — shared endpoints, plus shared fat-tree
+  // inner links when a topology is attached (via coupling_keys) — solve the
+  // closed set in isolation, and project back. Never ignore a shared link.
+  const auto closed = coupling_closure(active, subset);
+  std::vector<size_t> pos_of(static_cast<size_t>(active.size()), 0);
+  for (size_t p = 0; p < closed.size(); ++p)
+    pos_of[static_cast<size_t>(closed[p])] = p;
+  const auto closed_rates = rates(graph::induced_subgraph(active, closed));
+  std::vector<double> out;
+  out.reserve(subset.size());
+  for (const graph::CommId id : subset)
+    out.push_back(closed_rates[pos_of[static_cast<size_t>(id)]]);
+  return out;
 }
 
 std::vector<double> measure_scheme(const graph::CommGraph& graph,

@@ -7,9 +7,14 @@
 // "measured" times T_m come from here (or from the packet-level simulators
 // in flowsim/packet.hpp, which agree with the fluid model within a few
 // percent — see bench/abl_fluid_vs_packet).
+//
+// See docs/PERFORMANCE.md for the component-restricted solving contract
+// (`rates(active, subset)` / `coupling_keys`) that the incremental
+// sim::Engine builds on, and the invariants a subset must satisfy.
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "flowsim/fluid.hpp"
@@ -28,6 +33,42 @@ class RateProvider {
   virtual ~RateProvider() = default;
   [[nodiscard]] virtual std::vector<double> rates(
       const graph::CommGraph& active) const = 0;
+
+  /// Component-restricted entry point: rates for `subset` only (returned in
+  /// subset order), always equal to the corresponding entries of
+  /// rates(active). A restricted solve is exact when the solved set is
+  /// closed under shared endpoints — every communication of `active` that
+  /// shares a node with a member is itself a member — and under any extra
+  /// coupling the provider declares via coupling_keys(); implementations
+  /// therefore expand `subset` to its coupling closure before solving
+  /// (a no-op for the already-closed components the simulator hands in).
+  /// The base default solves the full graph and projects. See
+  /// docs/PERFORMANCE.md.
+  [[nodiscard]] virtual std::vector<double> rates(
+      const graph::CommGraph& active,
+      std::span<const graph::CommId> subset) const;
+
+  /// Opaque keys of shared resources beyond the two endpoint hosts that a
+  /// src -> dst communication would occupy (e.g. fat-tree inner links). Two
+  /// communications whose key sets intersect must be solved in the same
+  /// component even when they share no endpoint. The default declares no
+  /// extra coupling.
+  [[nodiscard]] virtual std::vector<int> coupling_keys(
+      topo::NodeId src, topo::NodeId dst) const;
+
+ protected:
+  /// True when `subset` is exactly 0..size-1 — the engine's common case,
+  /// where a restricted solve needs no induction at all.
+  [[nodiscard]] static bool covers_all(std::span<const graph::CommId> subset,
+                                       int size);
+
+  /// Smallest superset of `subset` closed under shared endpoints and shared
+  /// coupling_keys() within `active`, in ascending comm-id order (BFS over
+  /// node/key incidence, O(comms + keys)). Solving the closure in isolation
+  /// is exact, so restricted entry points expand first and project back.
+  [[nodiscard]] std::vector<graph::CommId> coupling_closure(
+      const graph::CommGraph& active,
+      std::span<const graph::CommId> subset) const;
 };
 
 /// Max-min fluid rates under a network calibration, optionally constrained
@@ -39,6 +80,19 @@ class FluidRateProvider final : public RateProvider {
 
   [[nodiscard]] std::vector<double> rates(
       const graph::CommGraph& active) const override;
+
+  /// Solves the induced subproblem of `subset`'s coupling closure and
+  /// projects back. With an attached fat-tree topology the closure also
+  /// merges components coupled through shared inner links (coupling_keys),
+  /// so a restricted solve never silently ignores a shared link.
+  [[nodiscard]] std::vector<double> rates(
+      const graph::CommGraph& active,
+      std::span<const graph::CommId> subset) const override;
+
+  /// Inner (non host-adjacent) fat-tree links on the src -> dst route; empty
+  /// without an attached topology.
+  [[nodiscard]] std::vector<int> coupling_keys(
+      topo::NodeId src, topo::NodeId dst) const override;
 
   [[nodiscard]] const topo::NetworkCalibration& calibration() const {
     return cal_;

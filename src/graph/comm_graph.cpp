@@ -12,11 +12,15 @@ CommId CommGraph::add(std::string label, topo::NodeId src, topo::NodeId dst,
   BWS_CHECK(!label.empty(), "communication label must not be empty");
   BWS_CHECK(src >= 0 && dst >= 0, "node ids must be non-negative");
   BWS_CHECK(bytes >= 0.0, "message size must be non-negative");
-  BWS_CHECK(!find(label).has_value(),
+  const CommId id = static_cast<CommId>(comms_.size());
+  // The label index keeps add() O(1) — graphs are rebuilt per refresh on
+  // the simulator's hot path, so a linear duplicate scan would make every
+  // rebuild quadratic.
+  BWS_CHECK(by_label_.emplace(label, id).second,
             "duplicate communication label '" + label + "'");
   comms_.push_back(Comm{std::move(label), src, dst, bytes});
   num_nodes_ = std::max(num_nodes_, std::max(src, dst) + 1);
-  return static_cast<CommId>(comms_.size()) - 1;
+  return id;
 }
 
 const Comm& CommGraph::comm(CommId id) const {
@@ -26,9 +30,9 @@ const Comm& CommGraph::comm(CommId id) const {
 }
 
 std::optional<CommId> CommGraph::find(const std::string& label) const {
-  for (CommId i = 0; i < size(); ++i)
-    if (comms_[static_cast<size_t>(i)].label == label) return i;
-  return std::nullopt;
+  const auto it = by_label_.find(label);
+  if (it == by_label_.end()) return std::nullopt;
+  return it->second;
 }
 
 int CommGraph::out_degree(topo::NodeId v) const {
@@ -80,6 +84,16 @@ std::vector<CommId> CommGraph::comms_to(topo::NodeId v) const {
 bool CommGraph::is_intra_node(CommId id) const {
   const auto& c = comm(id);
   return c.src == c.dst;
+}
+
+CommGraph induced_subgraph(const CommGraph& graph,
+                           std::span<const CommId> ids) {
+  CommGraph sub;
+  for (const CommId id : ids) {
+    const Comm& c = graph.comm(id);
+    sub.add(c.label, c.src, c.dst, c.bytes);
+  }
+  return sub;
 }
 
 }  // namespace bwshare::graph

@@ -10,6 +10,10 @@
 // communications conflict iff they have the same source node or the same
 // destination node (§V-B rule). An extended rule additionally linking
 // income/outgo pairs is provided for ablation studies.
+//
+// components() also underpins the incremental simulator: rates factorize
+// over connected components, so sim::Engine re-solves only the components
+// an event touches. Reference entry: docs/PERFORMANCE.md §"Invariants".
 #pragma once
 
 #include <string>

@@ -1,8 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
+#include <unordered_map>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -23,6 +25,8 @@ double SimResult::task_comm_time(TaskId t) const {
 }
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 enum class TaskState { kReady, kComputing, kSendBlocked, kRecvBlocked,
                        kWaitAll, kBarrier, kDone };
@@ -45,15 +49,38 @@ struct PendingRecv {
   bool nonblocking = false;  // posted via kIrecv
 };
 
+/// One in-flight transfer, stored in a stable slot. `remaining` is only
+/// valid as of `advance_time` — bytes are integrated lazily, when the
+/// transfer's component is next touched (docs/PERFORMANCE.md).
 struct Transfer {
   size_t record = 0;
   TaskId src = 0;
   TaskId dst = 0;
-  double remaining = 0.0;
+  topo::NodeId src_node = 0;
+  topo::NodeId dst_node = 0;
+  double remaining = 0.0;     // bytes left, as of advance_time
+  double advance_time = 0.0;  // sim time `remaining` refers to
+  double rate = 0.0;
+  double finish_pred = kInf;  // advance_time + remaining / rate
   bool rendezvous = false;
   bool src_tracked = false;      // sender posted via kIsend
   bool dst_nonblocking = false;  // receiver posted via kIrecv
-  double rate = 0.0;  // refreshed on every active-set change
+  bool alive = false;
+  int component = -1;
+  std::vector<int> keys;  // provider coupling keys (e.g. fat-tree links)
+};
+
+/// A connected component of the coupling structure over active transfers:
+/// two transfers belong together iff they share an endpoint node or a
+/// provider coupling key (transitively). `nodes`/`keys` record the
+/// ownership entries this component asserted, so freeing it can erase
+/// exactly those map entries.
+struct Component {
+  std::vector<size_t> members;  // alive transfer slots
+  std::vector<topo::NodeId> nodes;
+  std::vector<int> keys;
+  bool alive = false;
+  bool dirty = false;
 };
 
 class Engine {
@@ -90,8 +117,7 @@ class Engine {
       const double next_compute = earliest_compute_end();
       const double next_transfer = earliest_transfer_end();
       const double next = std::min(next_compute, next_transfer);
-      BWS_CHECK(next < std::numeric_limits<double>::infinity(),
-                deadlock_message());
+      BWS_CHECK(next < kInf, deadlock_message());
       BWS_CHECK(next <= cfg_.max_time, "simulation exceeded max_time");
       now_ = next;
       if (next_transfer <= next_compute) {
@@ -241,8 +267,8 @@ class Engine {
     blocked_since_[static_cast<size_t>(t)] = now_;
     ++barrier_arrivals_;
     if (barrier_arrivals_ < trace_.num_tasks()) return;
-    // Everyone arrived: release.
-    drain_to_now();
+    // Everyone arrived: release. In-flight transfers are untouched — their
+    // byte counts advance lazily when their component is next refreshed.
     barrier_arrivals_ = 0;
     for (TaskId u = 0; u < trace_.num_tasks(); ++u) {
       if (state_[static_cast<size_t>(u)] != TaskState::kBarrier) continue;
@@ -251,64 +277,332 @@ class Engine {
       state_[static_cast<size_t>(u)] = TaskState::kReady;
     }
     now_ += cfg_.barrier_cost;
-    drain_to_now();
     for (TaskId u = 0; u < trace_.num_tasks(); ++u)
       if (state_[static_cast<size_t>(u)] == TaskState::kReady) advance_task(u);
   }
 
   // --- transfers -----------------------------------------------------------
 
-  /// Account the bytes every active transfer moved since the last drain.
-  /// Must run before any rate refresh or change to the transfer set.
-  void drain_to_now() {
-    if (now_ > drain_time_) {
-      for (auto& tr : transfers_)
-        tr.remaining = std::max(0.0, tr.remaining - tr.rate * (now_ - drain_time_));
-    }
-    drain_time_ = now_;
+  /// Integrate the bytes `tr` moved since its last advance. Clamped at zero:
+  /// a transfer can overshoot its end when a barrier cost pushes `now_` past
+  /// its predicted finish; it then completes (late) at the current time.
+  void advance(Transfer& tr) {
+    if (now_ > tr.advance_time && tr.rate > 0.0)
+      tr.remaining =
+          std::max(0.0, tr.remaining - tr.rate * (now_ - tr.advance_time));
+    tr.advance_time = now_;
   }
 
   void start_transfer(const PendingSend& ps, TaskId dst,
                       bool dst_nonblocking) {
-    drain_to_now();
-    Transfer tr;
+    size_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      transfers_.emplace_back();
+      slot = transfers_.size() - 1;
+    }
+    Transfer& tr = transfers_[slot];
+    tr = Transfer{};
     tr.record = ps.record;
     tr.src = ps.src;
     tr.dst = dst;
+    tr.src_node = placement_.node_of(ps.src);
+    tr.dst_node = placement_.node_of(dst);
     tr.remaining = std::max(ps.bytes, 1.0);  // 0-length still costs latency
+    tr.advance_time = now_;
     tr.rendezvous = ps.rendezvous;
     tr.src_tracked = ps.tracked;
     tr.dst_nonblocking = dst_nonblocking;
+    tr.alive = true;
+    tr.keys = provider_.coupling_keys(tr.src_node, tr.dst_node);
     result_.comms[ps.record].start = now_;
-    transfers_.push_back(tr);
+    ++num_active_;
+    attach_transfer(slot);
     refresh_rates();
   }
 
-  void refresh_rates() {
-    if (transfers_.empty()) return;
-    graph::CommGraph active;
-    for (size_t k = 0; k < transfers_.size(); ++k) {
-      const auto& tr = transfers_[k];
-      active.add(strformat("t%zu", k), placement_.node_of(tr.src),
-                 placement_.node_of(tr.dst), tr.remaining);
+  // --- component tracking --------------------------------------------------
+
+  int new_component() {
+    int c;
+    if (!free_components_.empty()) {
+      c = free_components_.back();
+      free_components_.pop_back();
+    } else {
+      components_.emplace_back();
+      c = static_cast<int>(components_.size()) - 1;
     }
-    const auto rates = provider_.rates(active);
-    BWS_ASSERT(rates.size() == transfers_.size(), "rate size mismatch");
-    for (size_t k = 0; k < transfers_.size(); ++k) {
+    auto& comp = components_[static_cast<size_t>(c)];
+    comp.alive = true;
+    comp.dirty = false;
+    comp.members.clear();
+    comp.nodes.clear();
+    comp.keys.clear();
+    return c;
+  }
+
+  void mark_dirty(int c) {
+    auto& comp = components_[static_cast<size_t>(c)];
+    if (!comp.dirty) {
+      comp.dirty = true;
+      dirty_.push_back(c);
+    }
+  }
+
+  /// Release a component id, erasing exactly the ownership entries it still
+  /// holds (entries taken over by a merge point elsewhere and are left).
+  void free_component(int c) {
+    auto& comp = components_[static_cast<size_t>(c)];
+    for (const topo::NodeId nd : comp.nodes) {
+      const auto it = node_owner_.find(nd);
+      if (it != node_owner_.end() && it->second == c) node_owner_.erase(it);
+    }
+    for (const int k : comp.keys) {
+      const auto it = key_owner_.find(k);
+      if (it != key_owner_.end() && it->second == c) key_owner_.erase(it);
+    }
+    comp.alive = false;
+    comp.dirty = false;
+    comp.members.clear();
+    comp.nodes.clear();
+    comp.keys.clear();
+    free_components_.push_back(c);
+  }
+
+  void merge_into(int target, int victim) {
+    auto& t = components_[static_cast<size_t>(target)];
+    auto& v = components_[static_cast<size_t>(victim)];
+    for (const size_t s : v.members) transfers_[s].component = target;
+    t.members.insert(t.members.end(), v.members.begin(), v.members.end());
+    for (const topo::NodeId nd : v.nodes) {
+      node_owner_[nd] = target;
+      t.nodes.push_back(nd);
+    }
+    for (const int k : v.keys) {
+      key_owner_[k] = target;
+      t.keys.push_back(k);
+    }
+    v.alive = false;
+    v.dirty = false;
+    v.members.clear();
+    v.nodes.clear();
+    v.keys.clear();
+    free_components_.push_back(victim);
+  }
+
+  /// Place `slot` into the component owning any of its endpoint nodes or
+  /// coupling keys, merging every component it bridges; a transfer touching
+  /// nothing active starts its own. The touched component turns dirty.
+  void attach_transfer(size_t slot) {
+    Transfer& tr = transfers_[slot];
+    int target = -1;
+    const auto fold = [&](int c) {
+      if (c == target) return;
+      if (target == -1) {
+        target = c;
+        return;
+      }
+      if (components_[static_cast<size_t>(c)].members.size() >
+          components_[static_cast<size_t>(target)].members.size())
+        std::swap(target, c);
+      merge_into(target, c);
+    };
+    if (const auto it = node_owner_.find(tr.src_node); it != node_owner_.end())
+      fold(it->second);
+    if (const auto it = node_owner_.find(tr.dst_node); it != node_owner_.end())
+      fold(it->second);
+    for (const int k : tr.keys)
+      if (const auto it = key_owner_.find(k); it != key_owner_.end())
+        fold(it->second);
+    if (target == -1) target = new_component();
+    tr.component = target;
+    auto& comp = components_[static_cast<size_t>(target)];
+    comp.members.push_back(slot);
+    node_owner_[tr.src_node] = target;
+    comp.nodes.push_back(tr.src_node);
+    if (tr.dst_node != tr.src_node) {
+      node_owner_[tr.dst_node] = target;
+      comp.nodes.push_back(tr.dst_node);
+    }
+    for (const int k : tr.keys) {
+      key_owner_[k] = target;
+      comp.keys.push_back(k);
+    }
+    mark_dirty(target);
+  }
+
+  /// Remove a finished transfer; the remnant component turns dirty (it may
+  /// split — the next rebuild regroups it).
+  void detach_transfer(size_t slot) {
+    Transfer& tr = transfers_[slot];
+    const int c = tr.component;
+    auto& members = components_[static_cast<size_t>(c)].members;
+    members.erase(std::find(members.begin(), members.end(), slot));
+    tr.alive = false;
+    tr.component = -1;
+    tr.keys.clear();
+    free_slots_.push_back(slot);
+    --num_active_;
+    if (members.empty())
+      free_component(c);
+    else
+      mark_dirty(c);
+  }
+
+  /// Dissolve every dirty component — advancing its members' byte counts to
+  /// `now_` — and regroup the released transfers from scratch. Closure
+  /// guarantees the released transfers can only regroup among themselves,
+  /// so clean components are never disturbed. Afterwards `dirty_` lists the
+  /// freshly formed components (splits materialized, flags set).
+  void rebuild_dirty_components() {
+    if (dirty_.empty()) return;
+    loose_.clear();
+    for (const int c : dirty_) {
+      auto& comp = components_[static_cast<size_t>(c)];
+      if (!comp.alive || !comp.dirty) continue;
+      for (const size_t s : comp.members) {
+        advance(transfers_[s]);
+        transfers_[s].component = -1;
+        loose_.push_back(s);
+      }
+      comp.members.clear();
+      free_component(c);
+    }
+    dirty_.clear();
+    for (const size_t s : loose_) attach_transfer(s);
+  }
+
+  void refresh_rates() {
+    switch (cfg_.refresh) {
+      case RefreshMode::kFull:
+        refresh_full();
+        break;
+      case RefreshMode::kIncremental:
+        resolve_dirty();
+        break;
+      case RefreshMode::kCrossCheck:
+        resolve_dirty();
+        cross_check();
+        break;
+    }
+  }
+
+  void resolve_dirty() {
+    rebuild_dirty_components();
+    for (const int c : dirty_) {
+      auto& comp = components_[static_cast<size_t>(c)];
+      if (!comp.alive || !comp.dirty) continue;
+      solve_component(c);
+      comp.dirty = false;
+    }
+    dirty_.clear();
+  }
+
+  /// Solve one self-contained component: the induced communication graph of
+  /// its members is handed to the provider's component-restricted entry
+  /// point. Members are kept in posting (record) order so the restricted
+  /// problem's flow ordering matches refresh_full()'s, keeping the two
+  /// modes' arithmetic identical.
+  void solve_component(int c) {
+    auto& comp = components_[static_cast<size_t>(c)];
+    if (comp.members.empty()) return;
+    std::sort(comp.members.begin(), comp.members.end(),
+              [&](size_t a, size_t b) {
+                return transfers_[a].record < transfers_[b].record;
+              });
+    graph::CommGraph sub;
+    subset_.clear();
+    for (const size_t s : comp.members) {
+      const Transfer& tr = transfers_[s];
+      sub.add(strformat("t%zu", s), tr.src_node, tr.dst_node, tr.remaining);
+      subset_.push_back(static_cast<graph::CommId>(subset_.size()));
+    }
+    const auto rates = provider_.rates(sub, subset_);
+    BWS_ASSERT(rates.size() == comp.members.size(), "rate size mismatch");
+    for (size_t k = 0; k < comp.members.size(); ++k) {
       BWS_CHECK(rates[k] > 0.0, "provider returned a zero rate");
-      transfers_[k].rate = rates[k];
+      Transfer& tr = transfers_[comp.members[k]];
+      tr.rate = rates[k];
+      tr.finish_pred = tr.advance_time + tr.remaining / tr.rate;
+    }
+  }
+
+  /// Alive transfer slots in posting (record) order — the deterministic
+  /// ordering both refresh modes share.
+  [[nodiscard]] std::vector<size_t> active_slots_by_record() const {
+    std::vector<size_t> slots;
+    slots.reserve(num_active_);
+    for (size_t s = 0; s < transfers_.size(); ++s)
+      if (transfers_[s].alive) slots.push_back(s);
+    std::sort(slots.begin(), slots.end(), [&](size_t a, size_t b) {
+      return transfers_[a].record < transfers_[b].record;
+    });
+    return slots;
+  }
+
+  [[nodiscard]] graph::CommGraph full_active_graph(
+      const std::vector<size_t>& slots) const {
+    graph::CommGraph active;
+    for (const size_t s : slots) {
+      const Transfer& tr = transfers_[s];
+      active.add(strformat("t%zu", s), tr.src_node, tr.dst_node,
+                 tr.remaining);
+    }
+    return active;
+  }
+
+  /// Reference behaviour: advance everything and re-solve the whole active
+  /// set as one problem on every event.
+  void refresh_full() {
+    rebuild_dirty_components();
+    for (const int c : dirty_) {
+      auto& comp = components_[static_cast<size_t>(c)];
+      if (comp.alive) comp.dirty = false;
+    }
+    dirty_.clear();
+    if (num_active_ == 0) return;
+    for (auto& tr : transfers_)
+      if (tr.alive) advance(tr);
+    const auto slots = active_slots_by_record();
+    const auto rates = provider_.rates(full_active_graph(slots));
+    BWS_ASSERT(rates.size() == slots.size(), "rate size mismatch");
+    for (size_t k = 0; k < slots.size(); ++k) {
+      BWS_CHECK(rates[k] > 0.0, "provider returned a zero rate");
+      Transfer& tr = transfers_[slots[k]];
+      tr.rate = rates[k];
+      tr.finish_pred = tr.advance_time + tr.remaining / tr.rate;
+    }
+  }
+
+  /// kCrossCheck: after the incremental refresh, re-solve the full set and
+  /// fail loudly if any cached component rate drifts beyond 1e-9 relative.
+  void cross_check() const {
+    if (num_active_ == 0) return;
+    const auto slots = active_slots_by_record();
+    const auto rates = provider_.rates(full_active_graph(slots));
+    BWS_ASSERT(rates.size() == slots.size(), "rate size mismatch");
+    for (size_t k = 0; k < slots.size(); ++k) {
+      const double full = rates[k];
+      const double inc = transfers_[slots[k]].rate;
+      BWS_CHECK(std::abs(full - inc) <=
+                    1e-9 * std::max(std::abs(full), std::abs(inc)),
+                strformat("incremental refresh diverged from full solve: "
+                          "comm record %zu rate %.17g vs %.17g at t=%.9g",
+                          transfers_[slots[k]].record, inc, full, now_));
     }
   }
 
   [[nodiscard]] double earliest_transfer_end() const {
-    double best = std::numeric_limits<double>::infinity();
+    double best = kInf;
     for (const auto& tr : transfers_)
-      best = std::min(best, drain_time_ + tr.remaining / tr.rate);
+      if (tr.alive) best = std::min(best, tr.finish_pred);
     return std::max(best, now_);
   }
 
   [[nodiscard]] double earliest_compute_end() const {
-    double best = std::numeric_limits<double>::infinity();
+    double best = kInf;
     for (TaskId t = 0; t < trace_.num_tasks(); ++t)
       if (state_[static_cast<size_t>(t)] == TaskState::kComputing)
         best = std::min(best, ready_at_[static_cast<size_t>(t)]);
@@ -316,28 +610,28 @@ class Engine {
   }
 
   void complete_one_transfer() {
-    // Drain all transfers to `now_`, then finish the one closest to zero.
-    // Rounding error accumulates over many partial drains of large
-    // transfers, so completion is judged by remaining *time* with a
-    // tolerance relative to the message size.
-    drain_to_now();
+    // Finish the transfer with the earliest predicted completion; ties go to
+    // the one posted first (lowest record — the same order both refresh
+    // modes use). Only its own component needs its bytes advanced.
     size_t done = transfers_.size();
-    double best_time = std::numeric_limits<double>::infinity();
-    for (size_t k = 0; k < transfers_.size(); ++k) {
-      const double t_left = transfers_[k].remaining / transfers_[k].rate;
-      if (t_left < best_time) {
-        best_time = t_left;
-        done = k;
-      }
+    for (size_t s = 0; s < transfers_.size(); ++s) {
+      const Transfer& tr = transfers_[s];
+      if (!tr.alive) continue;
+      if (done == transfers_.size() ||
+          tr.finish_pred < transfers_[done].finish_pred ||
+          (tr.finish_pred == transfers_[done].finish_pred &&
+           tr.record < transfers_[done].record))
+        done = s;
     }
     BWS_ASSERT(done < transfers_.size(), "no transfer completed");
+    advance(transfers_[done]);
     BWS_ASSERT(
         transfers_[done].remaining <=
             1e-6 + 1e-9 * result_.comms[transfers_[done].record].bytes,
         "completing a transfer with significant bytes left");
 
-    const Transfer tr = transfers_[static_cast<size_t>(done)];
-    transfers_.erase(transfers_.begin() + static_cast<long>(done));
+    const Transfer tr = transfers_[done];
+    detach_transfer(done);
 
     auto& rec = result_.comms[tr.record];
     const double latency = latency_for(rec);
@@ -455,7 +749,6 @@ class Engine {
   EngineConfig cfg_;
 
   double now_ = 0.0;
-  double drain_time_ = 0.0;
   uint64_t next_order_ = 0;
   int barrier_arrivals_ = 0;
 
@@ -466,7 +759,17 @@ class Engine {
   std::vector<std::deque<PendingSend>> pending_sends_;  // keyed by dst
   std::vector<std::deque<PendingRecv>> pending_recvs_;  // keyed by dst
   std::vector<int> outstanding_requests_;
-  std::vector<Transfer> transfers_;
+
+  std::vector<Transfer> transfers_;  // slot-addressed; see Transfer::alive
+  std::vector<size_t> free_slots_;
+  size_t num_active_ = 0;
+  std::vector<Component> components_;
+  std::vector<int> free_components_;
+  std::vector<int> dirty_;                        // dirty component ids
+  std::vector<size_t> loose_;                     // rebuild scratch
+  std::vector<graph::CommId> subset_;             // solve scratch
+  std::unordered_map<topo::NodeId, int> node_owner_;
+  std::unordered_map<int, int> key_owner_;
   SimResult result_;
 };
 

@@ -16,6 +16,13 @@
 //   * Receives match by source, in posting order; kAnySource matches the
 //     earliest posted pending send (the paper's MPI_ANY_SOURCE method).
 //   * Barriers release when every task has arrived.
+//
+// Rate refresh is incremental and component-scoped by default: when a
+// transfer starts or finishes, only the connected component(s) of the
+// conflict structure it touches are re-solved, and untouched components keep
+// their cached rates with lazily advanced byte counts. See
+// docs/PERFORMANCE.md for the invariants and bench/engine_scaling.cpp for
+// the measured speedup; EngineConfig::refresh selects the strategy.
 #pragma once
 
 #include <string>
@@ -28,6 +35,20 @@
 
 namespace bwshare::sim {
 
+/// Rate-refresh strategy (docs/PERFORMANCE.md).
+enum class RefreshMode {
+  /// Re-solve the entire active set on every event (the reference
+  /// behaviour; O(events x active-set solve)).
+  kFull,
+  /// Re-solve only the dirty conflict components an event touched;
+  /// untouched components keep cached rates and advance bytes lazily.
+  kIncremental,
+  /// Run incrementally, but re-solve the full set after every refresh and
+  /// throw if any cached rate drifts from the full solution by more than
+  /// 1e-9 relative. Equivalence harness for tests and benchmarks.
+  kCrossCheck,
+};
+
 struct EngineConfig {
   /// Messages at least this long use rendezvous (sender blocks).
   double eager_threshold = 64.0 * 1024.0;
@@ -35,6 +56,8 @@ struct EngineConfig {
   double barrier_cost = 0.0;
   /// Abort if simulated time exceeds this (deadlock safety net).
   double max_time = 1e9;
+  /// How rates are refreshed when the active transfer set changes.
+  RefreshMode refresh = RefreshMode::kIncremental;
 };
 
 /// One completed communication, as the simulator saw it.

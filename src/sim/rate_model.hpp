@@ -21,6 +21,15 @@ class ModelRateProvider final : public flowsim::RateProvider {
   [[nodiscard]] std::vector<double> rates(
       const graph::CommGraph& active) const override;
 
+  /// Component-restricted solve: evaluates the penalty model on the induced
+  /// subgraph of `subset`'s endpoint closure only. Exact because every paper
+  /// model is local to an endpoint-closed component — penalties depend on
+  /// node degrees, strongly-slow sets, and conflict-graph components, all
+  /// fully determined inside such a set (see docs/PERFORMANCE.md).
+  [[nodiscard]] std::vector<double> rates(
+      const graph::CommGraph& active,
+      std::span<const graph::CommId> subset) const override;
+
   [[nodiscard]] const topo::NetworkCalibration& calibration() const {
     return cal_;
   }

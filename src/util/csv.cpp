@@ -128,11 +128,15 @@ std::string rows_to_json(const CsvWriter& table) {
     out += r == 0 ? "\n  {" : ",\n  {";
     for (size_t i = 0; i < row.size(); ++i) {
       if (i != 0) out += ", ";
-      out += "\"" + json_escape(header[i]) + "\": ";
+      out += '"';
+      out += json_escape(header[i]);
+      out += "\": ";
       if (is_json_number(row[i])) {
         out += row[i];
       } else {
-        out += "\"" + json_escape(row[i]) + "\"";
+        out += '"';
+        out += json_escape(row[i]);
+        out += '"';
       }
     }
     out += "}";

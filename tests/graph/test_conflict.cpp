@@ -82,6 +82,46 @@ TEST(ConflictGraph, DisjointFansSplitIntoComponents) {
   EXPECT_EQ(comps[1], (std::vector<CommId>{2, 3}));
 }
 
+TEST(ConflictGraph, ComponentsOfFullyDisjointGraphAreSingletons) {
+  // Pairwise-disjoint endpoints: every comm is its own component — the
+  // shape the incremental engine's sparse-schedule fast path relies on.
+  CommGraph g;
+  g.add("a", 0, 1, 1.0);
+  g.add("b", 2, 3, 1.0);
+  g.add("c", 4, 5, 1.0);
+  const ConflictGraph cg(g, ConflictRule::kSharedEndpointSameDirection);
+  const auto comps = cg.components();
+  ASSERT_EQ(comps.size(), 3u);
+  for (size_t i = 0; i < comps.size(); ++i)
+    EXPECT_EQ(comps[i], std::vector<CommId>{static_cast<CommId>(i)});
+}
+
+TEST(ConflictGraph, ComponentsOfSingletonAndEmptyGraphs) {
+  CommGraph one;
+  one.add("a", 0, 1, 1.0);
+  const ConflictGraph cg_one(one, ConflictRule::kSharedEndpointSameDirection);
+  ASSERT_EQ(cg_one.components().size(), 1u);
+  EXPECT_EQ(cg_one.components()[0], std::vector<CommId>{0});
+
+  const CommGraph empty;
+  const ConflictGraph cg_empty(empty,
+                               ConflictRule::kSharedEndpointSameDirection);
+  EXPECT_TRUE(cg_empty.components().empty());
+}
+
+TEST(ConflictGraph, IntraNodeCommIsAlwaysASingletonComponent) {
+  // Intra-node copies never conflict on the network, even when their node
+  // also terminates network communications.
+  CommGraph g;
+  g.add("net", 0, 1, 1.0);
+  g.add("shm", 0, 0, 1.0);
+  const ConflictGraph cg(g, ConflictRule::kSharedHost);
+  const auto comps = cg.components();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], std::vector<CommId>{0});
+  EXPECT_EQ(comps[1], std::vector<CommId>{1});
+}
+
 TEST(ConflictGraph, DegreeCounts) {
   const auto g = schemes::outgoing_fan(4);
   const ConflictGraph cg(g, ConflictRule::kSharedEndpointSameDirection);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/schemes.hpp"
+#include "util/strings.hpp"
 
 namespace bwshare::models {
 namespace {
@@ -174,7 +175,7 @@ TEST_P(MyrinetPropertyTest, PenaltiesBoundedByCommCount) {
     const int src = static_cast<int>(next() % nodes);
     int dst = static_cast<int>(next() % nodes);
     if (dst == src) dst = (dst + 1) % nodes;
-    g.add("c" + std::to_string(i), src, dst, 1e6);
+    g.add(strformat("c%d", i), src, dst, 1e6);
   }
   const MyrinetModel model;
   const auto analysis = model.analyze(g);
