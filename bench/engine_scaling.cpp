@@ -1,20 +1,27 @@
 // Engine event-loop scaling: full vs incremental component-scoped rate
-// refresh (sim::RefreshMode, docs/PERFORMANCE.md).
+// refresh (sim::RefreshMode) crossed with heap vs scan next-event selection
+// (sim::QueueMode, the core::EventQueue finish-time index vs the legacy
+// per-event linear scans — docs/PERFORMANCE.md).
 //
 // Scenario: a sparse schedule on N nodes — per round, a seeded random
 // perfect matching where every node either sends or receives exactly one
 // rendezvous message, rounds separated by barriers. The conflict graph of
 // each round is N/2 disjoint pairs, the regime where a full re-solve on
 // every event does maximal wasted work and the component-scoped solver
-// touches O(1) communications per event.
+// touches O(1) communications per event — leaving the per-event scans as
+// the dominant cost, which the indexed heap removes.
 //
-// Emits BENCH_engine.json (schema in docs/PERFORMANCE.md) so the repo keeps
-// a machine-readable perf trajectory. Node counts above --max-full-nodes
-// run the incremental path only (the full solve becomes quadratic-plus and
-// would dominate the bench's wall time); their full_ms/speedup fields are
-// null. Every cell with a full measurement also replays the schedule in
-// RefreshMode::kCrossCheck — per-event rate equivalence — and compares
-// per-communication completion times between the two modes.
+// Emits BENCH_engine.json (schema_version 2, docs/PERFORMANCE.md) so the
+// repo keeps a machine-readable perf trajectory: one row per
+// provider x node count x queue mode, each echoing the RNG seed and the
+// refresh mode it measured so a baseline is reproducible from the file
+// alone. Node counts above --max-full-nodes run the incremental path only
+// (the full solve becomes quadratic-plus and would dominate the bench's
+// wall time); their full_ms/speedup fields are null. Every heap cell with a
+// full measurement also replays the schedule in RefreshMode::kCrossCheck —
+// per-event rate equivalence plus the heap-order-equals-scan-order
+// assertion — and every scan cell's completion times must be bit-identical
+// to its heap twin's (the bench exits non-zero otherwise).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -71,11 +78,13 @@ struct Run {
 
 Run timed_run(const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
               const sim::Placement& placement,
-              const flowsim::RateProvider& provider, sim::RefreshMode mode) {
+              const flowsim::RateProvider& provider, sim::RefreshMode mode,
+              sim::QueueMode queue) {
   Run out;
   const auto t0 = std::chrono::steady_clock::now();
   sim::EngineConfig cfg;
   cfg.refresh = mode;
+  cfg.queue = queue;
   out.result = sim::run_simulation(trace, cluster, placement, provider, cfg);
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_ms =
@@ -109,11 +118,14 @@ void usage(const char* prog) {
   std::cout
       << "usage: " << prog << " [options]\n"
       << "  --nodes N,N,...       node counts (default 64,128,256,512,1024,"
-         "2048,4096)\n"
+         "2048,4096,8192,16384)\n"
       << "  --rounds R            matching rounds per scenario (default 3)\n"
       << "  --bytes B             message size in bytes (default 4000000)\n"
       << "  --seed S              matching seed (default 1)\n"
       << "  --providers LIST      fluid and/or gige (default fluid)\n"
+      << "  --queues LIST         heap and/or scan next-event selection\n"
+      << "                        (default heap,scan; scan rows must be\n"
+      << "                        bit-identical to their heap twin)\n"
       << "  --max-full-nodes N    largest size timing the full refresh and\n"
       << "                        running the cross-check (default 1024)\n"
       << "  --out PATH            JSON output (default BENCH_engine.json)\n";
@@ -128,8 +140,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = args.unknown_flags({"nodes", "rounds", "bytes", "seed",
-                                           "providers", "max-full-nodes",
-                                           "out", "help"});
+                                           "providers", "queues",
+                                           "max-full-nodes", "out", "help"});
   if (!unknown.empty()) {
     std::cerr << "error: unknown flag --" << unknown.front() << "\n";
     usage(args.program().c_str());
@@ -137,26 +149,51 @@ int main(int argc, char** argv) {
   }
 
   const std::string nodes_list =
-      args.get("nodes", "64,128,256,512,1024,2048,4096");
+      args.get("nodes", "64,128,256,512,1024,2048,4096,8192,16384");
   const int rounds = static_cast<int>(args.get_int("rounds", 3));
   const double bytes = args.get_double("bytes", 4e6);
   const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
   const long max_full = args.get_int("max-full-nodes", 1024);
   const std::string out_path = args.get("out", "BENCH_engine.json");
   const std::string providers = args.get("providers", "fluid");
+  const std::string queues = args.get("queues", "heap,scan");
 
   std::vector<int> sizes;
   for (const auto& tok : split(nodes_list, ','))
     sizes.push_back(static_cast<int>(parse_size(trim(tok))));
   std::vector<std::string> provider_names = split(providers, ',');
+  bool with_heap = false;
+  bool with_scan = false;
+  for (const auto& q : split(queues, ',')) {
+    if (trim(q) == "heap") {
+      with_heap = true;
+    } else if (trim(q) == "scan") {
+      with_scan = true;
+    } else {
+      std::cerr << "error: unknown queue mode '" << trim(q) << "'\n";
+      return 2;
+    }
+  }
 
   const auto cal = topo::gigabit_ethernet_calibration();
   std::string rows;
   bool all_equivalent = true;
 
-  std::printf("%-8s %-7s %10s %14s %9s %12s  %s\n", "provider", "nodes",
-              "full_ms", "incremental_ms", "speedup", "max_rel_err",
-              "crosscheck");
+  // One emitted row per provider x node count x queue mode.
+  struct Row {
+    const char* queue = "";
+    double makespan = 0.0;
+    double incremental_ms = 0.0;
+    double full_ms = -1.0;           // < 0 -> null
+    double speedup = -1.0;           // < 0 -> null
+    double max_rel_err = -1.0;       // full vs incremental; < 0 -> null
+    double queue_rel_err = -1.0;     // scan vs heap twin; < 0 -> null
+    bool crosscheck = false;
+  };
+
+  std::printf("%-8s %-7s %-5s %10s %14s %9s %12s %13s  %s\n", "provider",
+              "nodes", "queue", "full_ms", "incremental_ms", "speedup",
+              "max_rel_err", "queue_rel_err", "crosscheck");
   for (const auto& pname : provider_names) {
     const flowsim::FluidRateProvider fluid(cal);
     std::shared_ptr<const models::PenaltyModel> model;
@@ -177,62 +214,128 @@ int main(int argc, char** argv) {
       const auto placement = sim::make_placement(
           sim::SchedulingPolicy::kRoundRobinNode, cluster, n);
 
-      const Run inc = timed_run(trace, cluster, placement, *provider,
-                                sim::RefreshMode::kIncremental);
       const bool with_full = n <= max_full;
-      double full_ms = -1.0;
-      double speedup = -1.0;
-      double err = -1.0;
-      bool crosschecked = false;
-      if (with_full) {
+      std::vector<Row> cell_rows;
+
+      // Time the full refresh against `inc`, record the speedup and the
+      // full-vs-incremental divergence, then replay in kCrossCheck — the
+      // per-event rate equivalence (plus, under kHeap, the
+      // heap-order-equals-scan-order assertion) throws and fails the bench
+      // on any divergence.
+      const auto measure_full = [&](Row& row, const Run& inc,
+                                    sim::QueueMode queue) {
         const Run full = timed_run(trace, cluster, placement, *provider,
-                                   sim::RefreshMode::kFull);
-        full_ms = full.wall_ms;
-        speedup = inc.wall_ms > 0.0 ? full.wall_ms / inc.wall_ms : -1.0;
-        err = max_rel_err(full.result, inc.result);
-        if (err > 1e-9) all_equivalent = false;
-        // Per-event rate equivalence: throws (and fails the bench) on any
-        // divergence beyond 1e-9 relative.
+                                   sim::RefreshMode::kFull, queue);
+        row.full_ms = full.wall_ms;
+        row.speedup = inc.wall_ms > 0.0 ? full.wall_ms / inc.wall_ms : -1.0;
+        row.max_rel_err = max_rel_err(full.result, inc.result);
+        if (row.max_rel_err > 1e-9) all_equivalent = false;
         (void)timed_run(trace, cluster, placement, *provider,
-                        sim::RefreshMode::kCrossCheck);
-        crosschecked = true;
+                        sim::RefreshMode::kCrossCheck, queue);
+        row.crosscheck = true;
+      };
+
+      const Run* heap_inc = nullptr;
+      Run heap_run;
+      if (with_heap) {
+        heap_run = timed_run(trace, cluster, placement, *provider,
+                             sim::RefreshMode::kIncremental,
+                             sim::QueueMode::kHeap);
+        heap_inc = &heap_run;
+        Row row;
+        row.queue = "heap";
+        row.makespan = heap_run.result.makespan;
+        row.incremental_ms = heap_run.wall_ms;
+        if (with_full) measure_full(row, heap_run, sim::QueueMode::kHeap);
+        cell_rows.push_back(row);
+      }
+      if (with_scan) {
+        const Run scan = timed_run(trace, cluster, placement, *provider,
+                                   sim::RefreshMode::kIncremental,
+                                   sim::QueueMode::kScan);
+        Row row;
+        row.queue = "scan";
+        row.makespan = scan.result.makespan;
+        row.incremental_ms = scan.wall_ms;
+        if (heap_inc != nullptr) {
+          // The two selection strategies run identical arithmetic in an
+          // identical order, so their completion times must be bit-identical.
+          row.queue_rel_err = max_rel_err(heap_inc->result, scan.result);
+          if (row.queue_rel_err != 0.0) all_equivalent = false;
+        } else if (with_full) {
+          // No heap twin to compare against (--queues scan): validate the
+          // scan run against the full refresh itself, like schema v1 did,
+          // so a scan-only invocation still can't pass vacuously.
+          measure_full(row, scan, sim::QueueMode::kScan);
+        }
+        cell_rows.push_back(row);
       }
 
-      std::printf("%-8s %-7d %10s %14.3f %9s %12s  %s\n", pname.c_str(), n,
-                  with_full ? strformat("%.3f", full_ms).c_str() : "-",
-                  inc.wall_ms,
-                  with_full ? strformat("%.2fx", speedup).c_str() : "-",
-                  with_full ? strformat("%.3g", err).c_str() : "-",
-                  crosschecked ? "ok" : "skipped");
-      std::fflush(stdout);
+      for (const Row& row : cell_rows) {
+        const bool has_full = row.full_ms >= 0.0;
+        std::printf(
+            "%-8s %-7d %-5s %10s %14.3f %9s %12s %13s  %s\n", pname.c_str(),
+            n, row.queue,
+            has_full ? strformat("%.3f", row.full_ms).c_str() : "-",
+            row.incremental_ms,
+            has_full ? strformat("%.2fx", row.speedup).c_str() : "-",
+            has_full ? strformat("%.3g", row.max_rel_err).c_str() : "-",
+            row.queue_rel_err >= 0.0
+                ? strformat("%.3g", row.queue_rel_err).c_str()
+                : "-",
+            row.crosscheck ? "ok" : "skipped");
+        std::fflush(stdout);
 
-      if (!rows.empty()) rows += ",";
-      rows += strformat(
-          "\n    {\"provider\": \"%s\", \"nodes\": %d, "
-          "\"comms_per_round\": %d, \"rounds\": %d, "
-          "\"makespan\": %s, \"full_ms\": %s, \"incremental_ms\": %s, "
-          "\"speedup\": %s, \"max_rel_err\": %s, \"crosscheck\": %s}",
-          pname.c_str(), n, n / 2, rounds, json_num(inc.result.makespan).c_str(),
-          with_full ? json_num(full_ms).c_str() : "null",
-          json_num(inc.wall_ms).c_str(),
-          with_full ? json_num(speedup).c_str() : "null",
-          with_full ? json_num(err).c_str() : "null",
-          crosschecked ? "true" : "false");
+        if (!rows.empty()) rows += ",";
+        rows += strformat(
+            "\n    {\"provider\": \"%s\", \"nodes\": %d, "
+            "\"comms_per_round\": %d, \"rounds\": %d, \"seed\": %llu, "
+            "\"queue\": \"%s\", \"refresh\": \"incremental\", "
+            "\"makespan\": %s, \"full_ms\": %s, \"incremental_ms\": %s, "
+            "\"speedup\": %s, \"max_rel_err\": %s, \"queue_rel_err\": %s, "
+            "\"crosscheck\": %s}",
+            pname.c_str(), n, n / 2, rounds,
+            static_cast<unsigned long long>(seed), row.queue,
+            json_num(row.makespan).c_str(),
+            row.full_ms >= 0.0 ? json_num(row.full_ms).c_str() : "null",
+            json_num(row.incremental_ms).c_str(),
+            row.speedup >= 0.0 ? json_num(row.speedup).c_str() : "null",
+            row.max_rel_err >= 0.0 ? json_num(row.max_rel_err).c_str()
+                                   : "null",
+            row.queue_rel_err >= 0.0 ? json_num(row.queue_rel_err).c_str()
+                                     : "null",
+            row.crosscheck ? "true" : "false");
+      }
     }
   }
 
+  std::string nodes_json;
+  for (const int n : sizes)
+    nodes_json += strformat(nodes_json.empty() ? "%d" : ", %d", n);
+  std::string providers_json;
+  for (const auto& pname : provider_names) {
+    if (!providers_json.empty()) providers_json += ", ";
+    providers_json += "\"" + pname + "\"";
+  }
+  std::string queues_json;
+  if (with_heap) queues_json += "\"heap\"";
+  if (with_scan) queues_json += queues_json.empty() ? "\"scan\"" : ", \"scan\"";
+
   const std::string json = strformat(
-      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 1,\n"
+      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 2,\n"
       "  \"config\": {\"rounds\": %d, \"bytes\": %s, \"seed\": %llu, "
-      "\"max_full_nodes\": %ld},\n  \"results\": [%s\n  ]\n}\n",
+      "\"max_full_nodes\": %ld, \"nodes\": [%s], \"providers\": [%s], "
+      "\"queues\": [%s]},\n  \"results\": [%s\n  ]\n}\n",
       rounds, json_num(bytes).c_str(),
-      static_cast<unsigned long long>(seed), max_full, rows.c_str());
+      static_cast<unsigned long long>(seed), max_full, nodes_json.c_str(),
+      providers_json.c_str(), queues_json.c_str(), rows.c_str());
   util::write_text_file(out_path, json);
   std::cout << "  [json written to " << out_path << "]\n";
 
   if (!all_equivalent) {
-    std::cerr << "error: full and incremental completion times diverged "
-                 "beyond 1e-9 relative\n";
+    std::cerr << "error: refresh modes or queue modes diverged (full vs "
+                 "incremental beyond 1e-9 relative, or scan not "
+                 "bit-identical to heap)\n";
     return 1;
   }
   return 0;

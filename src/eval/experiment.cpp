@@ -38,9 +38,10 @@ ApplicationComparison compare_application(const sim::AppTrace& trace,
   out.placement =
       sim::make_placement(policy, cluster, trace.num_tasks(), seed);
 
-  // Both replays use the engine's default incremental component-scoped
-  // refresh (docs/PERFORMANCE.md) — sweep grids over large clusters would
-  // otherwise spend nearly all their time in full per-event re-solves.
+  // Both replays use the engine's defaults: incremental component-scoped
+  // refresh and the event-core finish-time heap (docs/PERFORMANCE.md) —
+  // sweep grids over large clusters would otherwise spend nearly all their
+  // time in full per-event re-solves and next-completion scans.
   const flowsim::FluidRateProvider measured_provider(cluster.network());
   const auto measured =
       sim::run_simulation(trace, cluster, out.placement, measured_provider);

@@ -1,37 +1,17 @@
 #include "flowsim/des.hpp"
 
-#include "util/error.hpp"
+#include <utility>
 
 namespace bwshare::flowsim {
 
-void Simulator::schedule_at(double when, Handler handler) {
-  BWS_CHECK(when >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{when, next_seq_++, std::move(handler)});
+core::EventHandle Simulator::schedule_at(double when, Handler handler) {
+  return reactor_.schedule_at(when, std::move(handler));
 }
 
-void Simulator::schedule_in(double delay, Handler handler) {
-  BWS_CHECK(delay >= 0.0, "delay must be non-negative");
-  schedule_at(now_ + delay, std::move(handler));
+core::EventHandle Simulator::schedule_in(double delay, Handler handler) {
+  return reactor_.schedule_in(delay, std::move(handler));
 }
 
-size_t Simulator::run(double max_time) {
-  size_t processed = 0;
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; the handler must be moved out
-    // before pop, so copy the metadata first.
-    const Event& top = queue_.top();
-    if (top.when > max_time) break;
-    Handler handler = std::move(const_cast<Event&>(top).handler);
-    now_ = top.when;
-    queue_.pop();
-    handler();
-    ++processed;
-  }
-  return processed;
-}
-
-void Simulator::clear() {
-  while (!queue_.empty()) queue_.pop();
-}
+size_t Simulator::run(double max_time) { return reactor_.run(max_time); }
 
 }  // namespace bwshare::flowsim

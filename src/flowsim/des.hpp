@@ -1,53 +1,43 @@
-// Discrete-event simulation core used by the packet-level network
-// simulators: a time-ordered event queue with stable FIFO ordering for
-// simultaneous events.
+// Discrete-event simulation front end used by the packet-level network
+// simulators. Since the event-core unification this is a thin facade over
+// core::Reactor — the same core::EventQueue that indexes sim::Engine's
+// transfer finish times also orders these handlers (time-ordered, stable
+// FIFO for simultaneous events), so both backends share one tested core.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include "core/clock.hpp"
 
 namespace bwshare::flowsim {
 
 class Simulator {
  public:
-  using Handler = std::function<void()>;
+  using Handler = core::Reactor::Handler;
 
   /// Current simulation time, seconds.
-  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] double now() const { return reactor_.now(); }
 
-  /// Schedule `handler` at absolute time `when` (>= now).
-  void schedule_at(double when, Handler handler);
+  /// Schedule `handler` at absolute time `when` (>= now). The returned
+  /// handle can cancel() the event while it is still pending.
+  core::EventHandle schedule_at(double when, Handler handler);
   /// Schedule `handler` `delay` seconds from now.
-  void schedule_in(double delay, Handler handler);
+  core::EventHandle schedule_in(double delay, Handler handler);
+
+  /// Drop a pending event by its handle. Returns false if the event
+  /// already fired, was cancelled, or was cleared.
+  bool cancel(core::EventHandle h) { return reactor_.cancel(h); }
 
   /// Run until the queue drains or `max_time` is reached.
   /// Returns the number of events processed.
   size_t run(double max_time = 1e18);
 
   /// Drop all pending events.
-  void clear();
+  void clear() { reactor_.clear(); }
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return reactor_.empty(); }
+  [[nodiscard]] size_t pending() const { return reactor_.pending(); }
 
  private:
-  struct Event {
-    double when;
-    uint64_t seq;
-    Handler handler;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  double now_ = 0.0;
-  uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  core::Reactor reactor_;
 };
 
 }  // namespace bwshare::flowsim

@@ -1,6 +1,9 @@
 #include "graph/scheme_parser.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "graph/scheme_lexer.hpp"
@@ -92,10 +95,13 @@ class Parser {
   int parse_int(const std::string& what) {
     const Token& token = expect(TokenKind::kNumber, what);
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(token.text.c_str(), &end, 10);
     BWS_CHECK(end && *end == '\0',
               where() + what + " must be an integer, got '" + token.text + "'");
     BWS_CHECK(v >= 0, where() + what + " must be non-negative");
+    BWS_CHECK(errno != ERANGE && v <= std::numeric_limits<int>::max(),
+              where() + what + " out of range: '" + token.text + "'");
     return static_cast<int>(v);
   }
 

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <set>
 #include <unordered_map>
 
+#include "core/clock.hpp"
+#include "core/event_queue.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -67,6 +70,10 @@ struct Transfer {
   bool dst_nonblocking = false;  // receiver posted via kIrecv
   bool alive = false;
   int component = -1;
+  /// Entry in the finish-time queue (QueueMode::kHeap). Stable across
+  /// component dissolve/regroup — only a re-solve that changes finish_pred
+  /// re-keys it, and only completion erases it.
+  core::EventHandle qh = core::kNullEventHandle;
   std::vector<int> keys;  // provider coupling keys (e.g. fat-tree links)
 };
 
@@ -112,21 +119,42 @@ class Engine {
   SimResult run() {
     // Drive every task as far as it can go, then hop to the next event.
     for (TaskId t = 0; t < trace_.num_tasks(); ++t) advance_task(t);
-    while (true) {
-      if (all_done()) break;
-      const double next_compute = earliest_compute_end();
-      const double next_transfer = earliest_transfer_end();
+    const bool heap = cfg_.queue == QueueMode::kHeap;
+    while (num_done_ < trace_.num_tasks()) {
+      // A predicted finish can sit in the past (a barrier cost overshot
+      // it); the transfer then completes, late, at the current time.
+      const double next_compute =
+          heap ? (compute_q_.empty() ? kInf : compute_q_.top_time())
+               : earliest_compute_end();
+      const double next_transfer =
+          heap ? (transfer_q_.empty()
+                      ? kInf
+                      : std::max(transfer_q_.top_time(), now()))
+               : earliest_transfer_end();
+      if (heap && cfg_.refresh == RefreshMode::kCrossCheck) {
+        // Queue-order equivalence: the heap's next-event times must match
+        // the legacy scans exactly, at every event.
+        BWS_CHECK(earliest_compute_end() == next_compute,
+                  strformat("event queue diverged from scan on the next "
+                            "compute wake-up: heap %.17g vs scan %.17g at "
+                            "t=%.9g",
+                            next_compute, earliest_compute_end(), now()));
+        BWS_CHECK(earliest_transfer_end() == next_transfer,
+                  strformat("event queue diverged from scan on the next "
+                            "completion: heap %.17g vs scan %.17g at t=%.9g",
+                            next_transfer, earliest_transfer_end(), now()));
+      }
       const double next = std::min(next_compute, next_transfer);
       BWS_CHECK(next < kInf, deadlock_message());
       BWS_CHECK(next <= cfg_.max_time, "simulation exceeded max_time");
-      now_ = next;
+      clock_.advance_to(next);
       if (next_transfer <= next_compute) {
         complete_one_transfer();
       } else {
         wake_computers();
       }
     }
-    result_.makespan = now_;
+    result_.makespan = now();
     for (TaskId t = 0; t < trace_.num_tasks(); ++t)
       result_.tasks[static_cast<size_t>(t)].finish_time =
           std::max(result_.tasks[static_cast<size_t>(t)].finish_time, 0.0);
@@ -134,7 +162,20 @@ class Engine {
   }
 
  private:
+  [[nodiscard]] double now() const { return clock_.now(); }
+
   // --- task stepping -------------------------------------------------------
+
+  /// Put `t` to sleep until `until` (a compute burst, or modelled receive
+  /// latency): the state bookkeeping plus, in heap mode, the wake-up queue
+  /// entry. A computing task owns exactly one compute_q_ entry, popped when
+  /// it wakes — nothing ever re-keys it.
+  void begin_compute(TaskId t, double until) {
+    state_[static_cast<size_t>(t)] = TaskState::kComputing;
+    ready_at_[static_cast<size_t>(t)] = until;
+    if (cfg_.queue == QueueMode::kHeap)
+      compute_q_.push(until, static_cast<uint64_t>(t), t);
+  }
 
   void advance_task(TaskId t) {
     auto& st = state_[static_cast<size_t>(t)];
@@ -142,14 +183,14 @@ class Engine {
       const auto& program = trace_.program(t);
       if (pc_[static_cast<size_t>(t)] >= program.size()) {
         st = TaskState::kDone;
-        result_.tasks[static_cast<size_t>(t)].finish_time = now_;
+        ++num_done_;
+        result_.tasks[static_cast<size_t>(t)].finish_time = now();
         return;
       }
       const Event& e = program[pc_[static_cast<size_t>(t)]++];
       switch (e.kind) {
         case EventKind::kCompute:
-          st = TaskState::kComputing;
-          ready_at_[static_cast<size_t>(t)] = now_ + e.seconds;
+          begin_compute(t, now() + e.seconds);
           result_.tasks[static_cast<size_t>(t)].compute_seconds += e.seconds;
           return;
         case EventKind::kSend:
@@ -170,7 +211,7 @@ class Engine {
         case EventKind::kWaitAll:
           if (outstanding_requests_[static_cast<size_t>(t)] > 0) {
             st = TaskState::kWaitAll;
-            blocked_since_[static_cast<size_t>(t)] = now_;
+            blocked_since_[static_cast<size_t>(t)] = now();
             return;
           }
           break;  // nothing outstanding: fall through to the next event
@@ -192,7 +233,7 @@ class Engine {
     rec.src_node = placement_.node_of(t);
     rec.dst_node = placement_.node_of(e.peer);
     rec.bytes = e.bytes;
-    rec.send_post = now_;
+    rec.send_post = now();
     result_.comms.push_back(rec);
     const size_t record = result_.comms.size() - 1;
 
@@ -200,14 +241,14 @@ class Engine {
     ps.src = t;
     ps.order = next_order_++;
     ps.bytes = e.bytes;
-    ps.post_time = now_;
+    ps.post_time = now();
     ps.rendezvous = rendezvous;
     ps.tracked = nonblocking;
     ps.record = record;
 
     if (rendezvous) {
       state_[static_cast<size_t>(t)] = TaskState::kSendBlocked;
-      blocked_since_[static_cast<size_t>(t)] = now_;
+      blocked_since_[static_cast<size_t>(t)] = now();
     } else {
       state_[static_cast<size_t>(t)] = TaskState::kReady;
       if (nonblocking) ++outstanding_requests_[static_cast<size_t>(t)];
@@ -236,7 +277,7 @@ class Engine {
       ++outstanding_requests_[static_cast<size_t>(t)];
     } else {
       state_[static_cast<size_t>(t)] = TaskState::kRecvBlocked;
-      blocked_since_[static_cast<size_t>(t)] = now_;
+      blocked_since_[static_cast<size_t>(t)] = now();
     }
 
     // Match the earliest pending send addressed to us (by posting order).
@@ -249,7 +290,7 @@ class Engine {
     if (best != sends.end()) {
       PendingSend ps = *best;
       sends.erase(best);
-      result_.comms[ps.record].recv_post = now_;
+      result_.comms[ps.record].recv_post = now();
       start_transfer(ps, t, nonblocking);
       return;
     }
@@ -257,14 +298,14 @@ class Engine {
     pr.peer = e.peer;
     pr.order = next_order_++;
     pr.bytes = e.bytes;
-    pr.post_time = now_;
+    pr.post_time = now();
     pr.nonblocking = nonblocking;
     pending_recvs_[static_cast<size_t>(t)].push_back(pr);
   }
 
   void arrive_barrier(TaskId t) {
     state_[static_cast<size_t>(t)] = TaskState::kBarrier;
-    blocked_since_[static_cast<size_t>(t)] = now_;
+    blocked_since_[static_cast<size_t>(t)] = now();
     ++barrier_arrivals_;
     if (barrier_arrivals_ < trace_.num_tasks()) return;
     // Everyone arrived: release. In-flight transfers are untouched — their
@@ -273,10 +314,10 @@ class Engine {
     for (TaskId u = 0; u < trace_.num_tasks(); ++u) {
       if (state_[static_cast<size_t>(u)] != TaskState::kBarrier) continue;
       result_.tasks[static_cast<size_t>(u)].barrier_wait_seconds +=
-          now_ - blocked_since_[static_cast<size_t>(u)];
+          now() - blocked_since_[static_cast<size_t>(u)];
       state_[static_cast<size_t>(u)] = TaskState::kReady;
     }
-    now_ += cfg_.barrier_cost;
+    clock_.advance_by(cfg_.barrier_cost);
     for (TaskId u = 0; u < trace_.num_tasks(); ++u)
       if (state_[static_cast<size_t>(u)] == TaskState::kReady) advance_task(u);
   }
@@ -284,13 +325,13 @@ class Engine {
   // --- transfers -----------------------------------------------------------
 
   /// Integrate the bytes `tr` moved since its last advance. Clamped at zero:
-  /// a transfer can overshoot its end when a barrier cost pushes `now_` past
+  /// a transfer can overshoot its end when a barrier cost pushes `now()` past
   /// its predicted finish; it then completes (late) at the current time.
   void advance(Transfer& tr) {
-    if (now_ > tr.advance_time && tr.rate > 0.0)
+    if (now() > tr.advance_time && tr.rate > 0.0)
       tr.remaining =
-          std::max(0.0, tr.remaining - tr.rate * (now_ - tr.advance_time));
-    tr.advance_time = now_;
+          std::max(0.0, tr.remaining - tr.rate * (now() - tr.advance_time));
+    tr.advance_time = now();
   }
 
   void start_transfer(const PendingSend& ps, TaskId dst,
@@ -311,13 +352,17 @@ class Engine {
     tr.src_node = placement_.node_of(ps.src);
     tr.dst_node = placement_.node_of(dst);
     tr.remaining = std::max(ps.bytes, 1.0);  // 0-length still costs latency
-    tr.advance_time = now_;
+    tr.advance_time = now();
     tr.rendezvous = ps.rendezvous;
     tr.src_tracked = ps.tracked;
     tr.dst_nonblocking = dst_nonblocking;
     tr.alive = true;
     tr.keys = provider_.coupling_keys(tr.src_node, tr.dst_node);
-    result_.comms[ps.record].start = now_;
+    // The finish-time index entry lives as long as the transfer does; the
+    // refresh below re-keys it to the first real prediction.
+    if (cfg_.queue == QueueMode::kHeap)
+      tr.qh = transfer_q_.push(kInf, static_cast<uint64_t>(tr.record), slot);
+    result_.comms[ps.record].start = now();
     ++num_active_;
     attach_transfer(slot);
     refresh_rates();
@@ -440,6 +485,10 @@ class Engine {
     const int c = tr.component;
     auto& members = components_[static_cast<size_t>(c)].members;
     members.erase(std::find(members.begin(), members.end(), slot));
+    if (cfg_.queue == QueueMode::kHeap) {
+      transfer_q_.erase(tr.qh);
+      tr.qh = core::kNullEventHandle;
+    }
     tr.alive = false;
     tr.component = -1;
     tr.keys.clear();
@@ -452,7 +501,7 @@ class Engine {
   }
 
   /// Dissolve every dirty component — advancing its members' byte counts to
-  /// `now_` — and regroup the released transfers from scratch. Closure
+  /// `now()` — and regroup the released transfers from scratch. Closure
   /// guarantees the released transfers can only regroup among themselves,
   /// so clean components are never disturbed. Afterwards `dirty_` lists the
   /// freshly formed components (splits materialized, flags set).
@@ -526,6 +575,8 @@ class Engine {
       Transfer& tr = transfers_[comp.members[k]];
       tr.rate = rates[k];
       tr.finish_pred = tr.advance_time + tr.remaining / tr.rate;
+      if (cfg_.queue == QueueMode::kHeap)
+        transfer_q_.update(tr.qh, tr.finish_pred);
     }
   }
 
@@ -573,6 +624,8 @@ class Engine {
       Transfer& tr = transfers_[slots[k]];
       tr.rate = rates[k];
       tr.finish_pred = tr.advance_time + tr.remaining / tr.rate;
+      if (cfg_.queue == QueueMode::kHeap)
+        transfer_q_.update(tr.qh, tr.finish_pred);
     }
   }
 
@@ -590,7 +643,7 @@ class Engine {
                     1e-9 * std::max(std::abs(full), std::abs(inc)),
                 strformat("incremental refresh diverged from full solve: "
                           "comm record %zu rate %.17g vs %.17g at t=%.9g",
-                          transfers_[slots[k]].record, inc, full, now_));
+                          transfers_[slots[k]].record, inc, full, now()));
     }
   }
 
@@ -598,7 +651,7 @@ class Engine {
     double best = kInf;
     for (const auto& tr : transfers_)
       if (tr.alive) best = std::min(best, tr.finish_pred);
-    return std::max(best, now_);
+    return std::max(best, now());
   }
 
   [[nodiscard]] double earliest_compute_end() const {
@@ -609,10 +662,9 @@ class Engine {
     return best;
   }
 
-  void complete_one_transfer() {
-    // Finish the transfer with the earliest predicted completion; ties go to
-    // the one posted first (lowest record — the same order both refresh
-    // modes use). Only its own component needs its bytes advanced.
+  /// Legacy selection: linear argmin over every transfer slot. Drives
+  /// QueueMode::kScan and the kCrossCheck order assertion under kHeap.
+  [[nodiscard]] size_t scan_next_transfer() const {
     size_t done = transfers_.size();
     for (size_t s = 0; s < transfers_.size(); ++s) {
       const Transfer& tr = transfers_[s];
@@ -624,6 +676,30 @@ class Engine {
         done = s;
     }
     BWS_ASSERT(done < transfers_.size(), "no transfer completed");
+    return done;
+  }
+
+  void complete_one_transfer() {
+    // Finish the transfer with the earliest predicted completion; ties go to
+    // the one posted first (lowest record — the tie key the finish-time heap
+    // shares with the legacy scan, so both select identically). Only its own
+    // component needs its bytes advanced.
+    size_t done;
+    if (cfg_.queue == QueueMode::kHeap) {
+      BWS_ASSERT(!transfer_q_.empty(), "no transfer completed");
+      done = transfer_q_.top();
+      if (cfg_.refresh == RefreshMode::kCrossCheck) {
+        const size_t scan = scan_next_transfer();
+        BWS_CHECK(scan == done,
+                  strformat("event queue diverged from scan on the completing "
+                            "transfer: heap slot %zu (record %zu) vs scan "
+                            "slot %zu (record %zu) at t=%.9g",
+                            done, transfers_[done].record, scan,
+                            transfers_[scan].record, now()));
+      }
+    } else {
+      done = scan_next_transfer();
+    }
     advance(transfers_[done]);
     BWS_ASSERT(
         transfers_[done].remaining <=
@@ -635,15 +711,15 @@ class Engine {
 
     auto& rec = result_.comms[tr.record];
     const double latency = latency_for(rec);
-    rec.finish = now_ + latency;
+    rec.finish = now() + latency;
     const double ref = reference_duration(rec);
     rec.penalty = ref > 0.0 ? (rec.finish - rec.start) / ref : 1.0;
 
     // Unblock the sender (rendezvous) at drain time.
     if (tr.rendezvous) {
       auto& stats = result_.tasks[static_cast<size_t>(tr.src)];
-      rec.sender_time = now_ - rec.send_post;
-      stats.send_blocked_seconds += now_ - blocked_since_[static_cast<size_t>(tr.src)];
+      rec.sender_time = now() - rec.send_post;
+      stats.send_blocked_seconds += now() - blocked_since_[static_cast<size_t>(tr.src)];
       state_[static_cast<size_t>(tr.src)] = TaskState::kReady;
     } else {
       rec.sender_time = 0.0;
@@ -659,10 +735,9 @@ class Engine {
     } else {
       auto& stats = result_.tasks[static_cast<size_t>(tr.dst)];
       stats.recv_blocked_seconds +=
-          (now_ + latency) - blocked_since_[static_cast<size_t>(tr.dst)];
+          (now() + latency) - blocked_since_[static_cast<size_t>(tr.dst)];
       if (latency > 0.0) {
-        state_[static_cast<size_t>(tr.dst)] = TaskState::kComputing;
-        ready_at_[static_cast<size_t>(tr.dst)] = now_ + latency;
+        begin_compute(tr.dst, now() + latency);
       } else {
         state_[static_cast<size_t>(tr.dst)] = TaskState::kReady;
       }
@@ -686,23 +761,60 @@ class Engine {
       return;
     auto& stats = result_.tasks[static_cast<size_t>(task)];
     stats.recv_blocked_seconds +=
-        (now_ + latency) - blocked_since_[static_cast<size_t>(task)];
+        (now() + latency) - blocked_since_[static_cast<size_t>(task)];
     if (latency > 0.0) {
-      state_[static_cast<size_t>(task)] = TaskState::kComputing;
-      ready_at_[static_cast<size_t>(task)] = now_ + latency;
+      begin_compute(task, now() + latency);
     } else {
       state_[static_cast<size_t>(task)] = TaskState::kReady;
     }
   }
 
   void wake_computers() {
+    if (cfg_.queue == QueueMode::kHeap) {
+      wake_computers_heap();
+      return;
+    }
     for (TaskId t = 0; t < trace_.num_tasks(); ++t) {
       if (state_[static_cast<size_t>(t)] == TaskState::kComputing &&
-          ready_at_[static_cast<size_t>(t)] <= now_ + 1e-15) {
+          ready_at_[static_cast<size_t>(t)] <= now() + 1e-15) {
         state_[static_cast<size_t>(t)] = TaskState::kReady;
         advance_task(t);
       }
     }
+  }
+
+  /// Heap-mode replica of the legacy ascending-id wake sweep above. The
+  /// sweep wakes eligible computing tasks in increasing task id, re-checking
+  /// eligibility after every wake — a wake can cascade into a barrier
+  /// release that advances the clock past more deadlines, or start
+  /// zero-length computes. Tasks that become eligible *behind* the sweep
+  /// position are re-queued for the next main-loop turn, exactly like the
+  /// scan (which never revisits lower indices mid-sweep).
+  void wake_computers_heap() {
+    const auto drain = [&] {
+      while (!compute_q_.empty() &&
+             compute_q_.top_time() <= now() + 1e-15) {
+        const double when = compute_q_.top_time();
+        eligible_.emplace(compute_q_.top(), when);
+        compute_q_.pop();
+      }
+    };
+    eligible_.clear();
+    drain();
+    TaskId last = -1;
+    while (!eligible_.empty()) {
+      const auto it = eligible_.upper_bound({last, kInf});
+      if (it == eligible_.end()) break;
+      const TaskId t = it->first;
+      eligible_.erase(it);
+      last = t;
+      state_[static_cast<size_t>(t)] = TaskState::kReady;
+      advance_task(t);
+      drain();
+    }
+    for (const auto& [t, when] : eligible_)
+      compute_q_.push(when, static_cast<uint64_t>(t), t);
+    eligible_.clear();
   }
 
   // --- helpers -------------------------------------------------------------
@@ -716,12 +828,6 @@ class Engine {
     if (rec.src_node == rec.dst_node)
       return rec.bytes / net.shm_bandwidth;
     return net.latency + rec.bytes / net.reference_bandwidth();
-  }
-
-  [[nodiscard]] bool all_done() const {
-    for (TaskId t = 0; t < trace_.num_tasks(); ++t)
-      if (state_[static_cast<size_t>(t)] != TaskState::kDone) return false;
-    return true;
   }
 
   [[nodiscard]] std::string deadlock_message() const {
@@ -748,9 +854,10 @@ class Engine {
   const flowsim::RateProvider& provider_;
   EngineConfig cfg_;
 
-  double now_ = 0.0;
+  core::Clock clock_;  // the shared event-core time source
   uint64_t next_order_ = 0;
   int barrier_arrivals_ = 0;
+  int num_done_ = 0;
 
   std::vector<TaskState> state_;
   std::vector<size_t> pc_;
@@ -759,6 +866,13 @@ class Engine {
   std::vector<std::deque<PendingSend>> pending_sends_;  // keyed by dst
   std::vector<std::deque<PendingRecv>> pending_recvs_;  // keyed by dst
   std::vector<int> outstanding_requests_;
+
+  // The event-core indices (QueueMode::kHeap): alive transfers keyed by
+  // predicted finish time (tie: posting record), computing tasks keyed by
+  // wake-up time (tie: task id).
+  core::EventQueue<size_t> transfer_q_;
+  core::EventQueue<TaskId> compute_q_;
+  std::set<std::pair<TaskId, double>> eligible_;  // wake sweep scratch
 
   std::vector<Transfer> transfers_;  // slot-addressed; see Transfer::alive
   std::vector<size_t> free_slots_;

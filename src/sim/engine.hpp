@@ -20,9 +20,13 @@
 // Rate refresh is incremental and component-scoped by default: when a
 // transfer starts or finishes, only the connected component(s) of the
 // conflict structure it touches are re-solved, and untouched components keep
-// their cached rates with lazily advanced byte counts. See
-// docs/PERFORMANCE.md for the invariants and bench/engine_scaling.cpp for
-// the measured speedup; EngineConfig::refresh selects the strategy.
+// their cached rates with lazily advanced byte counts. The event loop itself
+// runs on the shared event-core (core::EventQueue): predicted finish times
+// and compute wake-ups are indexed heap entries, re-keyed in O(log n) when a
+// component re-solve changes a prediction, so finding the next event never
+// scans the active set. See docs/PERFORMANCE.md for the invariants and
+// bench/engine_scaling.cpp for the measured speedup; EngineConfig::refresh
+// and EngineConfig::queue select the strategies.
 #pragma once
 
 #include <string>
@@ -45,8 +49,21 @@ enum class RefreshMode {
   kIncremental,
   /// Run incrementally, but re-solve the full set after every refresh and
   /// throw if any cached rate drifts from the full solution by more than
-  /// 1e-9 relative. Equivalence harness for tests and benchmarks.
+  /// 1e-9 relative. Under QueueMode::kHeap it additionally re-derives every
+  /// event choice by the legacy linear scan and throws if heap order ever
+  /// diverges from scan order. Equivalence harness for tests and benchmarks.
   kCrossCheck,
+};
+
+/// How the event loop finds the next completion / wake-up
+/// (docs/PERFORMANCE.md, "The event-core").
+enum class QueueMode {
+  /// Indexed finish-time heap (core::EventQueue): O(log n) per event.
+  kHeap,
+  /// Legacy per-event linear scans over every transfer slot and task (the
+  /// pre-event-core behaviour). Kept for A/B benchmarking — both modes are
+  /// bit-identical, which kCrossCheck asserts at every event.
+  kScan,
 };
 
 struct EngineConfig {
@@ -58,6 +75,8 @@ struct EngineConfig {
   double max_time = 1e9;
   /// How rates are refreshed when the active transfer set changes.
   RefreshMode refresh = RefreshMode::kIncremental;
+  /// How the next event is selected.
+  QueueMode queue = QueueMode::kHeap;
 };
 
 /// One completed communication, as the simulator saw it.

@@ -1,0 +1,127 @@
+// core::Clock and core::Reactor — the event-core's time source and the
+// handler-driven loop flowsim::des::Simulator wraps. Pins monotonicity,
+// (time, FIFO) dispatch order, max_time cut-off, and cancel semantics
+// including stale-handle safety.
+#include "core/clock.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bwshare::core {
+namespace {
+
+TEST(Clock, AdvancesMonotonically) {
+  Clock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance_to(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.5);
+  clock.advance_to(2.5);  // standing still is allowed
+  clock.advance_by(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(Clock, RefusesToRunBackwards) {
+  Clock clock;
+  clock.advance_to(5.0);
+  EXPECT_THROW(clock.advance_to(4.0), Error);
+  EXPECT_THROW(clock.advance_by(-1.0), Error);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+}
+
+TEST(Reactor, DispatchesInTimeOrder) {
+  Reactor reactor;
+  std::vector<int> order;
+  reactor.schedule_at(3.0, [&] { order.push_back(3); });
+  reactor.schedule_at(1.0, [&] { order.push_back(1); });
+  reactor.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(reactor.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(reactor.now(), 3.0);
+}
+
+TEST(Reactor, SimultaneousEventsAreFifo) {
+  Reactor reactor;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    reactor.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  reactor.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Reactor, HandlersCanScheduleMoreEvents) {
+  Reactor reactor;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) reactor.schedule_in(1.0, chain);
+  };
+  reactor.schedule_in(1.0, chain);
+  reactor.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(reactor.now(), 10.0);
+}
+
+TEST(Reactor, RunStopsAtMaxTime) {
+  Reactor reactor;
+  int fired = 0;
+  reactor.schedule_at(1.0, [&] { ++fired; });
+  reactor.schedule_at(5.0, [&] { ++fired; });
+  reactor.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(reactor.pending(), 1u);
+  EXPECT_DOUBLE_EQ(reactor.now(), 1.0);  // never advanced past the cut-off
+}
+
+TEST(Reactor, CannotScheduleInThePast) {
+  Reactor reactor;
+  reactor.schedule_at(5.0, [] {});
+  reactor.run();
+  EXPECT_THROW(reactor.schedule_at(1.0, [] {}), Error);
+  EXPECT_THROW(reactor.schedule_in(-1.0, [] {}), Error);
+}
+
+TEST(Reactor, CancelDropsAPendingEvent) {
+  Reactor reactor;
+  int fired = 0;
+  reactor.schedule_at(1.0, [&] { ++fired; });
+  const EventHandle doomed = reactor.schedule_at(2.0, [&] { fired += 100; });
+  reactor.schedule_at(3.0, [&] { ++fired; });
+  EXPECT_TRUE(reactor.cancel(doomed));
+  EXPECT_EQ(reactor.pending(), 2u);
+  EXPECT_FALSE(reactor.cancel(doomed));  // already gone
+  EXPECT_EQ(reactor.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(reactor.now(), 3.0);
+}
+
+TEST(Reactor, CancelIsStaleSafeAfterFiringAndClearing) {
+  Reactor reactor;
+  const EventHandle fired = reactor.schedule_at(1.0, [] {});
+  reactor.run();
+  EXPECT_FALSE(reactor.cancel(fired));
+  const EventHandle cleared = reactor.schedule_at(2.0, [] {});
+  reactor.clear();
+  EXPECT_FALSE(reactor.cancel(cleared));
+  // A new event recycling the slot must not be reachable via old handles.
+  const EventHandle fresh = reactor.schedule_at(3.0, [] {});
+  EXPECT_FALSE(reactor.cancel(fired));
+  EXPECT_FALSE(reactor.cancel(cleared));
+  EXPECT_TRUE(reactor.cancel(fresh));
+}
+
+TEST(Reactor, ClearKeepsTheClockPosition) {
+  Reactor reactor;
+  reactor.schedule_at(4.0, [] {});
+  reactor.run();
+  reactor.schedule_at(9.0, [] {});
+  reactor.clear();
+  EXPECT_TRUE(reactor.empty());
+  EXPECT_DOUBLE_EQ(reactor.now(), 4.0);
+  EXPECT_THROW(reactor.schedule_at(1.0, [] {}), Error);
+}
+
+}  // namespace
+}  // namespace bwshare::core

@@ -68,5 +68,29 @@ TEST(Des, Clear) {
   EXPECT_EQ(sim.run(), 0u);
 }
 
+// Event cancellation arrived with the core::EventQueue port: schedule_*
+// return the queue entry's handle and cancel() drops it in O(log n).
+
+TEST(Des, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  const auto doomed = sim.schedule_at(2.0, [&] { fired += 100; });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(doomed));
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Des, CancelReportsStaleHandles) {
+  Simulator sim;
+  const auto h = sim.schedule_at(1.0, [] {});
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(sim.cancel(h));  // already fired
+  const auto h2 = sim.schedule_at(2.0, [] {});
+  EXPECT_TRUE(sim.cancel(h2));
+  EXPECT_FALSE(sim.cancel(h2));  // already cancelled
+}
+
 }  // namespace
 }  // namespace bwshare::flowsim
