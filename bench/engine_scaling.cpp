@@ -1,27 +1,32 @@
 // Engine event-loop scaling: full vs incremental component-scoped rate
 // refresh (sim::RefreshMode) crossed with heap vs scan next-event selection
 // (sim::QueueMode, the core::EventQueue finish-time index vs the legacy
-// per-event linear scans — docs/PERFORMANCE.md).
+// per-event linear scans) crossed with serial vs parallel component solving
+// (sim::SolveMode, the ThreadPool-backed flush — docs/PERFORMANCE.md).
 //
 // Scenario: a sparse schedule on N nodes — per round, a seeded random
 // perfect matching where every node either sends or receives exactly one
 // rendezvous message, rounds separated by barriers. The conflict graph of
 // each round is N/2 disjoint pairs, the regime where a full re-solve on
 // every event does maximal wasted work and the component-scoped solver
-// touches O(1) communications per event — leaving the per-event scans as
-// the dominant cost, which the indexed heap removes.
+// touches O(1) communications per event — and where each round's release
+// flushes N/2 disjoint dirty components at once, the widest batch the
+// parallel solver can fan out.
 //
-// Emits BENCH_engine.json (schema_version 2, docs/PERFORMANCE.md) so the
+// Emits BENCH_engine.json (schema_version 3, docs/PERFORMANCE.md) so the
 // repo keeps a machine-readable perf trajectory: one row per
-// provider x node count x queue mode, each echoing the RNG seed and the
-// refresh mode it measured so a baseline is reproducible from the file
-// alone. Node counts above --max-full-nodes run the incremental path only
-// (the full solve becomes quadratic-plus and would dominate the bench's
-// wall time); their full_ms/speedup fields are null. Every heap cell with a
-// full measurement also replays the schedule in RefreshMode::kCrossCheck —
-// per-event rate equivalence plus the heap-order-equals-scan-order
-// assertion — and every scan cell's completion times must be bit-identical
-// to its heap twin's (the bench exits non-zero otherwise).
+// provider x node count x queue mode x solve mode, each echoing the RNG
+// seed, the refresh mode and the thread count it measured so a baseline is
+// reproducible from the file alone. Node counts above --max-full-nodes run
+// the incremental path only (the full solve becomes quadratic-plus and
+// would dominate the bench's wall time); their full_ms/speedup fields are
+// null. Scan rows stop above --max-scan-nodes (the per-event scans are
+// quadratic too). Every heap cell with a full measurement also replays the
+// schedule in RefreshMode::kCrossCheck — per-event rate equivalence plus
+// the heap-order-equals-scan-order assertion, and for parallel rows the
+// parallel-vs-serial per-component oracle — and the bench exits non-zero
+// if any scan row is not bit-identical to its heap twin or any parallel
+// row is not bit-identical to its serial twin.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -43,6 +48,7 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
@@ -79,12 +85,16 @@ struct Run {
 Run timed_run(const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
               const sim::Placement& placement,
               const flowsim::RateProvider& provider, sim::RefreshMode mode,
-              sim::QueueMode queue) {
+              sim::QueueMode queue,
+              sim::SolveMode solve = sim::SolveMode::kSerial,
+              util::ThreadPool* pool = nullptr) {
   Run out;
   const auto t0 = std::chrono::steady_clock::now();
   sim::EngineConfig cfg;
   cfg.refresh = mode;
   cfg.queue = queue;
+  cfg.solve = solve;
+  cfg.solve_pool = pool;
   out.result = sim::run_simulation(trace, cluster, placement, provider, cfg);
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_ms =
@@ -97,7 +107,7 @@ Run timed_run(const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
 /// Max relative difference over per-communication finish times + makespan.
 double max_rel_err(const sim::SimResult& a, const sim::SimResult& b) {
   BWS_CHECK(a.comms.size() == b.comms.size(),
-            "refresh modes produced different communication counts");
+            "engine configurations produced different communication counts");
   double worst = 0.0;
   const auto rel = [](double x, double y) {
     const double scale = std::max(std::abs(x), std::abs(y));
@@ -118,7 +128,7 @@ void usage(const char* prog) {
   std::cout
       << "usage: " << prog << " [options]\n"
       << "  --nodes N,N,...       node counts (default 64,128,256,512,1024,"
-         "2048,4096,8192,16384)\n"
+         "2048,4096,8192,16384,32768,65536)\n"
       << "  --rounds R            matching rounds per scenario (default 3)\n"
       << "  --bytes B             message size in bytes (default 4000000)\n"
       << "  --seed S              matching seed (default 1)\n"
@@ -126,8 +136,16 @@ void usage(const char* prog) {
       << "  --queues LIST         heap and/or scan next-event selection\n"
       << "                        (default heap,scan; scan rows must be\n"
       << "                        bit-identical to their heap twin)\n"
+      << "  --solve LIST          serial and/or parallel component solving\n"
+      << "                        (default serial,parallel; parallel rows\n"
+      << "                        must be bit-identical to their serial\n"
+      << "                        twin)\n"
+      << "  --threads T           pool size for parallel rows (default 0 =\n"
+      << "                        hardware threads)\n"
       << "  --max-full-nodes N    largest size timing the full refresh and\n"
       << "                        running the cross-check (default 1024)\n"
+      << "  --max-scan-nodes N    largest size running scan rows (default\n"
+      << "                        16384; the per-event scans are quadratic)\n"
       << "  --out PATH            JSON output (default BENCH_engine.json)\n";
 }
 
@@ -139,24 +157,27 @@ int main(int argc, char** argv) {
     usage(args.program().c_str());
     return 0;
   }
-  const auto unknown = args.unknown_flags({"nodes", "rounds", "bytes", "seed",
-                                           "providers", "queues",
-                                           "max-full-nodes", "out", "help"});
+  const auto unknown = args.unknown_flags(
+      {"nodes", "rounds", "bytes", "seed", "providers", "queues", "solve",
+       "threads", "max-full-nodes", "max-scan-nodes", "out", "help"});
   if (!unknown.empty()) {
     std::cerr << "error: unknown flag --" << unknown.front() << "\n";
     usage(args.program().c_str());
     return 2;
   }
 
-  const std::string nodes_list =
-      args.get("nodes", "64,128,256,512,1024,2048,4096,8192,16384");
+  const std::string nodes_list = args.get(
+      "nodes", "64,128,256,512,1024,2048,4096,8192,16384,32768,65536");
   const int rounds = static_cast<int>(args.get_int("rounds", 3));
   const double bytes = args.get_double("bytes", 4e6);
   const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
   const long max_full = args.get_int("max-full-nodes", 1024);
+  const long max_scan = args.get_int("max-scan-nodes", 16384);
   const std::string out_path = args.get("out", "BENCH_engine.json");
   const std::string providers = args.get("providers", "fluid");
   const std::string queues = args.get("queues", "heap,scan");
+  const std::string solves = args.get("solve", "serial,parallel");
+  const int threads_flag = static_cast<int>(args.get_int("threads", 0));
 
   std::vector<int> sizes;
   for (const auto& tok : split(nodes_list, ','))
@@ -174,26 +195,50 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  bool with_serial = false;
+  bool with_parallel = false;
+  for (const auto& s : split(solves, ',')) {
+    if (trim(s) == "serial") {
+      with_serial = true;
+    } else if (trim(s) == "parallel") {
+      with_parallel = true;
+    } else {
+      std::cerr << "error: unknown solve mode '" << trim(s) << "'\n";
+      return 2;
+    }
+  }
+
+  // One shared pool for every parallel row — the injection pattern the
+  // engine documents for concurrent replays (sweep cells).
+  const int pool_threads =
+      threads_flag > 0 ? threads_flag : util::ThreadPool::hardware_threads();
+  std::unique_ptr<util::ThreadPool> pool;
+  if (with_parallel) pool = std::make_unique<util::ThreadPool>(pool_threads);
 
   const auto cal = topo::gigabit_ethernet_calibration();
   std::string rows;
   bool all_equivalent = true;
 
-  // One emitted row per provider x node count x queue mode.
+  // One emitted row per provider x node count x queue mode x solve mode.
   struct Row {
     const char* queue = "";
+    const char* solve = "serial";
+    int threads = 1;
     double makespan = 0.0;
     double incremental_ms = 0.0;
     double full_ms = -1.0;           // < 0 -> null
     double speedup = -1.0;           // < 0 -> null
     double max_rel_err = -1.0;       // full vs incremental; < 0 -> null
     double queue_rel_err = -1.0;     // scan vs heap twin; < 0 -> null
+    double solve_rel_err = -1.0;     // parallel vs serial twin; < 0 -> null
+    double solve_speedup = -1.0;     // serial_ms / parallel_ms; < 0 -> null
     bool crosscheck = false;
   };
 
-  std::printf("%-8s %-7s %-5s %10s %14s %9s %12s %13s  %s\n", "provider",
-              "nodes", "queue", "full_ms", "incremental_ms", "speedup",
-              "max_rel_err", "queue_rel_err", "crosscheck");
+  std::printf("%-8s %-7s %-5s %-8s %10s %14s %9s %12s %13s %13s %13s  %s\n",
+              "provider", "nodes", "queue", "solve", "full_ms",
+              "incremental_ms", "speedup", "max_rel_err", "queue_rel_err",
+              "solve_rel_err", "solve_speedup", "crosscheck");
   for (const auto& pname : provider_names) {
     const flowsim::FluidRateProvider fluid(cal);
     std::shared_ptr<const models::PenaltyModel> model;
@@ -235,53 +280,93 @@ int main(int argc, char** argv) {
         row.crosscheck = true;
       };
 
-      const Run* heap_inc = nullptr;
-      Run heap_run;
-      if (with_heap) {
-        heap_run = timed_run(trace, cluster, placement, *provider,
-                             sim::RefreshMode::kIncremental,
-                             sim::QueueMode::kHeap);
-        heap_inc = &heap_run;
-        Row row;
-        row.queue = "heap";
-        row.makespan = heap_run.result.makespan;
-        row.incremental_ms = heap_run.wall_ms;
-        if (with_full) measure_full(row, heap_run, sim::QueueMode::kHeap);
-        cell_rows.push_back(row);
-      }
-      if (with_scan) {
-        const Run scan = timed_run(trace, cluster, placement, *provider,
-                                   sim::RefreshMode::kIncremental,
-                                   sim::QueueMode::kScan);
-        Row row;
-        row.queue = "scan";
-        row.makespan = scan.result.makespan;
-        row.incremental_ms = scan.wall_ms;
-        if (heap_inc != nullptr) {
-          // The two selection strategies run identical arithmetic in an
-          // identical order, so their completion times must be bit-identical.
-          row.queue_rel_err = max_rel_err(heap_inc->result, scan.result);
-          if (row.queue_rel_err != 0.0) all_equivalent = false;
-        } else if (with_full) {
-          // No heap twin to compare against (--queues scan): validate the
-          // scan run against the full refresh itself, like schema v1 did,
-          // so a scan-only invocation still can't pass vacuously.
-          measure_full(row, scan, sim::QueueMode::kScan);
+      // Serial and parallel incremental runs for one queue mode: parallel
+      // must be bit-identical to serial (solve_rel_err exactly 0), and the
+      // kCrossCheck replay of a parallel row additionally runs the
+      // per-component parallel-vs-serial oracle inside the engine.
+      const auto run_queue_cell = [&](sim::QueueMode queue,
+                                      const char* queue_name,
+                                      const Run* heap_serial) -> Run {
+        Run serial;
+        if (with_serial || with_parallel) {
+          // The serial run doubles as the parallel rows' oracle baseline,
+          // so it runs whenever any solve mode is requested.
+          serial = timed_run(trace, cluster, placement, *provider,
+                             sim::RefreshMode::kIncremental, queue);
         }
-        cell_rows.push_back(row);
+        if (with_serial) {
+          Row row;
+          row.queue = queue_name;
+          row.solve = "serial";
+          row.threads = 1;
+          row.makespan = serial.result.makespan;
+          row.incremental_ms = serial.wall_ms;
+          if (heap_serial != nullptr) {
+            // The two selection strategies run identical arithmetic in an
+            // identical order: completion times must be bit-identical.
+            row.queue_rel_err = max_rel_err(heap_serial->result,
+                                            serial.result);
+            if (row.queue_rel_err != 0.0) all_equivalent = false;
+          } else if (with_full) {
+            measure_full(row, serial, queue);
+          }
+          cell_rows.push_back(row);
+        }
+        if (with_parallel) {
+          const Run parallel = timed_run(
+              trace, cluster, placement, *provider,
+              sim::RefreshMode::kIncremental, queue,
+              sim::SolveMode::kParallel, pool.get());
+          Row row;
+          row.queue = queue_name;
+          row.solve = "parallel";
+          row.threads = pool_threads;
+          row.makespan = parallel.result.makespan;
+          row.incremental_ms = parallel.wall_ms;
+          row.solve_rel_err = max_rel_err(serial.result, parallel.result);
+          if (row.solve_rel_err != 0.0) all_equivalent = false;
+          row.solve_speedup = parallel.wall_ms > 0.0
+                                  ? serial.wall_ms / parallel.wall_ms
+                                  : -1.0;
+          if (with_full) {
+            (void)timed_run(trace, cluster, placement, *provider,
+                            sim::RefreshMode::kCrossCheck, queue,
+                            sim::SolveMode::kParallel, pool.get());
+            row.crosscheck = true;
+          }
+          cell_rows.push_back(row);
+        }
+        return serial;
+      };
+
+      Run heap_serial;
+      bool have_heap_serial = false;
+      if (with_heap) {
+        heap_serial = run_queue_cell(sim::QueueMode::kHeap, "heap", nullptr);
+        have_heap_serial = with_serial || with_parallel;
+      }
+      if (with_scan && n <= max_scan) {
+        run_queue_cell(sim::QueueMode::kScan, "scan",
+                       have_heap_serial ? &heap_serial : nullptr);
       }
 
       for (const Row& row : cell_rows) {
         const bool has_full = row.full_ms >= 0.0;
         std::printf(
-            "%-8s %-7d %-5s %10s %14.3f %9s %12s %13s  %s\n", pname.c_str(),
-            n, row.queue,
+            "%-8s %-7d %-5s %-8s %10s %14.3f %9s %12s %13s %13s %13s  %s\n",
+            pname.c_str(), n, row.queue, row.solve,
             has_full ? strformat("%.3f", row.full_ms).c_str() : "-",
             row.incremental_ms,
             has_full ? strformat("%.2fx", row.speedup).c_str() : "-",
             has_full ? strformat("%.3g", row.max_rel_err).c_str() : "-",
             row.queue_rel_err >= 0.0
                 ? strformat("%.3g", row.queue_rel_err).c_str()
+                : "-",
+            row.solve_rel_err >= 0.0
+                ? strformat("%.3g", row.solve_rel_err).c_str()
+                : "-",
+            row.solve_speedup >= 0.0
+                ? strformat("%.2fx", row.solve_speedup).c_str()
                 : "-",
             row.crosscheck ? "ok" : "skipped");
         std::fflush(stdout);
@@ -290,19 +375,25 @@ int main(int argc, char** argv) {
         rows += strformat(
             "\n    {\"provider\": \"%s\", \"nodes\": %d, "
             "\"comms_per_round\": %d, \"rounds\": %d, \"seed\": %llu, "
-            "\"queue\": \"%s\", \"refresh\": \"incremental\", "
+            "\"queue\": \"%s\", \"solve\": \"%s\", \"threads\": %d, "
+            "\"refresh\": \"incremental\", "
             "\"makespan\": %s, \"full_ms\": %s, \"incremental_ms\": %s, "
             "\"speedup\": %s, \"max_rel_err\": %s, \"queue_rel_err\": %s, "
+            "\"solve_rel_err\": %s, \"solve_speedup\": %s, "
             "\"crosscheck\": %s}",
             pname.c_str(), n, n / 2, rounds,
-            static_cast<unsigned long long>(seed), row.queue,
-            json_num(row.makespan).c_str(),
+            static_cast<unsigned long long>(seed), row.queue, row.solve,
+            row.threads, json_num(row.makespan).c_str(),
             row.full_ms >= 0.0 ? json_num(row.full_ms).c_str() : "null",
             json_num(row.incremental_ms).c_str(),
             row.speedup >= 0.0 ? json_num(row.speedup).c_str() : "null",
             row.max_rel_err >= 0.0 ? json_num(row.max_rel_err).c_str()
                                    : "null",
             row.queue_rel_err >= 0.0 ? json_num(row.queue_rel_err).c_str()
+                                     : "null",
+            row.solve_rel_err >= 0.0 ? json_num(row.solve_rel_err).c_str()
+                                     : "null",
+            row.solve_speedup >= 0.0 ? json_num(row.solve_speedup).c_str()
                                      : "null",
             row.crosscheck ? "true" : "false");
       }
@@ -320,22 +411,28 @@ int main(int argc, char** argv) {
   std::string queues_json;
   if (with_heap) queues_json += "\"heap\"";
   if (with_scan) queues_json += queues_json.empty() ? "\"scan\"" : ", \"scan\"";
+  std::string solves_json;
+  if (with_serial) solves_json += "\"serial\"";
+  if (with_parallel)
+    solves_json += solves_json.empty() ? "\"parallel\"" : ", \"parallel\"";
 
   const std::string json = strformat(
-      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 2,\n"
+      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 3,\n"
       "  \"config\": {\"rounds\": %d, \"bytes\": %s, \"seed\": %llu, "
-      "\"max_full_nodes\": %ld, \"nodes\": [%s], \"providers\": [%s], "
-      "\"queues\": [%s]},\n  \"results\": [%s\n  ]\n}\n",
+      "\"max_full_nodes\": %ld, \"max_scan_nodes\": %ld, \"nodes\": [%s], "
+      "\"providers\": [%s], \"queues\": [%s], \"solves\": [%s], "
+      "\"threads\": %d},\n  \"results\": [%s\n  ]\n}\n",
       rounds, json_num(bytes).c_str(),
-      static_cast<unsigned long long>(seed), max_full, nodes_json.c_str(),
-      providers_json.c_str(), queues_json.c_str(), rows.c_str());
+      static_cast<unsigned long long>(seed), max_full, max_scan,
+      nodes_json.c_str(), providers_json.c_str(), queues_json.c_str(),
+      solves_json.c_str(), with_parallel ? pool_threads : 1, rows.c_str());
   util::write_text_file(out_path, json);
   std::cout << "  [json written to " << out_path << "]\n";
 
   if (!all_equivalent) {
-    std::cerr << "error: refresh modes or queue modes diverged (full vs "
-                 "incremental beyond 1e-9 relative, or scan not "
-                 "bit-identical to heap)\n";
+    std::cerr << "error: engine configurations diverged (full vs "
+                 "incremental beyond 1e-9 relative, scan not bit-identical "
+                 "to heap, or parallel solve not bit-identical to serial)\n";
     return 1;
   }
   return 0;

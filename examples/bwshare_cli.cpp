@@ -17,7 +17,7 @@
 //
 // Exit codes: 0 success, 1 runtime failure (including any errored sweep
 // cell), 2 usage error (unknown subcommand or flag, missing argument).
-#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -35,6 +35,7 @@
 #include "topo/cluster.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
@@ -212,15 +213,14 @@ int run_sweep(const CliArgs& args) {
   }
   spec.seeds.clear();
   for (const auto& text : split_list(args, "seeds", "1,2,3")) {
-    // Digits only: strtoull would silently wrap "-1" to 2^64-1.
-    bool digits = !text.empty();
-    for (const char c : text) digits = digits && c >= '0' && c <= '9';
-    BWS_CHECK(digits, "--seeds expects comma-separated non-negative "
-                      "integers, got '" + text + "'");
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long seed = std::strtoull(text.c_str(), &end, 10);
-    BWS_CHECK(errno == 0 && end && *end == '\0',
+    // try_parse_u64 is digits only: strtoull would silently wrap "-1" to
+    // 2^64-1.
+    std::uint64_t seed = 0;
+    const auto st = try_parse_u64(text, seed);
+    BWS_CHECK(st != ParseIntStatus::kMalformed,
+              "--seeds expects comma-separated non-negative "
+              "integers, got '" + text + "'");
+    BWS_CHECK(st == ParseIntStatus::kOk,
               "--seeds value '" + text + "' is out of range");
     spec.seeds.push_back(seed);
   }

@@ -16,6 +16,7 @@
 #include "topo/cluster.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 #include "util/threadpool.hpp"
 
@@ -62,7 +63,6 @@ graph::CommGraph builtin_scheme(const std::string& entry) {
 
 SweepShape parse_sweep_shape(const std::string& text) {
   const auto x = text.find('x');
-  char* end = nullptr;
   SweepShape shape;
   BWS_CHECK(x != std::string::npos,
             "shape '" + text + "' must look like <nodes>x<cores>, e.g. 16x2");
@@ -70,12 +70,12 @@ SweepShape parse_sweep_shape(const std::string& text) {
   const std::string cores = text.substr(x + 1);
   // Range-checked on the long before the int cast, so 2^32+1 is rejected
   // instead of silently wrapping into a tiny cluster.
-  const long n = std::strtol(nodes.c_str(), &end, 10);
-  BWS_CHECK(end && *end == '\0' && n >= 1 && n <= 1000000,
+  long n = 0;
+  BWS_CHECK(try_parse_long(nodes, n, 1, 1000000) == ParseIntStatus::kOk,
             "shape '" + text + "': bad node count '" + nodes + "'");
   shape.nodes = static_cast<int>(n);
-  const long c = std::strtol(cores.c_str(), &end, 10);
-  BWS_CHECK(end && *end == '\0' && c >= 1 && c <= 1000000,
+  long c = 0;
+  BWS_CHECK(try_parse_long(cores, c, 1, 1000000) == ParseIntStatus::kOk,
             "shape '" + text + "': bad core count '" + cores + "'");
   shape.cores = static_cast<int>(c);
   return shape;

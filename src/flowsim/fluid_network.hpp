@@ -28,6 +28,17 @@ namespace bwshare::flowsim {
 /// communications (as a CommGraph over cluster nodes), return each one's
 /// transfer rate in bytes/s. Implementations: FluidRateProvider (substrate
 /// ground truth) and sim::ModelRateProvider (the paper's predictive models).
+///
+/// Reentrancy contract: every entry point is const and must be *logically*
+/// const — no mutable members, no static or global scratch, no caching.
+/// sim::Engine's parallel flush (EngineConfig::solve == kParallel) calls
+/// rates(active, subset) concurrently from several pool threads, one call
+/// per disjoint component, against the same provider instance. Concurrent
+/// calls over disjoint subsets must behave as if run one after another —
+/// which const purity gives for free. The in-tree providers satisfy this by
+/// construction (all solver state lives on the calling thread's stack);
+/// new implementations must preserve it, or kParallel replays race. The
+/// TSan CI job exercises exactly this path.
 class RateProvider {
  public:
   virtual ~RateProvider() = default;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -72,15 +73,15 @@ GeneratorSpec parse_generator_spec(std::string_view text) {
                 "generator parameter '" + item + "' is not key=value");
       const std::string key(trim(std::string_view(item).substr(0, eq)));
       const std::string value(trim(std::string_view(item).substr(eq + 1)));
-      char* end = nullptr;
       // Bounds-checked before the int cast: strtol's long would otherwise
       // wrap values like 2^32+2 into the valid range silently.
-      const auto parse_int = [&end, &value](const char* what) {
-        const long v = std::strtol(value.c_str(), &end, 10);
-        BWS_CHECK(end && *end == '\0',
+      const auto parse_int = [&value](const char* what) {
+        long v = 0;
+        const auto st = try_parse_long(value, v, -1000000, 1000000);
+        BWS_CHECK(st != ParseIntStatus::kMalformed,
                   strformat("generator: %s expects an integer, got '%s'",
                             what, value.c_str()));
-        BWS_CHECK(v >= -1000000 && v <= 1000000,
+        BWS_CHECK(st == ParseIntStatus::kOk,
                   strformat("generator: %s value '%s' is out of range", what,
                             value.c_str()));
         return static_cast<int>(v);
@@ -92,6 +93,7 @@ GeneratorSpec parse_generator_spec(std::string_view text) {
       } else if (key == "bytes") {
         spec.bytes = parse_size(value);
       } else if (key == "spread") {
+        char* end = nullptr;
         spec.spread = std::strtod(value.c_str(), &end);
         BWS_CHECK(end && *end == '\0',
                   "generator: spread expects a number, got '" + value + "'");

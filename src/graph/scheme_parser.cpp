@@ -1,13 +1,12 @@
 #include "graph/scheme_parser.hpp"
 
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
 #include "graph/scheme_lexer.hpp"
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
@@ -94,15 +93,19 @@ class Parser {
 
   int parse_int(const std::string& what) {
     const Token& token = expect(TokenKind::kNumber, what);
-    char* end = nullptr;
-    errno = 0;
-    const long v = std::strtol(token.text.c_str(), &end, 10);
-    BWS_CHECK(end && *end == '\0',
-              where() + what + " must be an integer, got '" + token.text + "'");
-    BWS_CHECK(v >= 0, where() + what + " must be non-negative");
-    BWS_CHECK(errno != ERANGE && v <= std::numeric_limits<int>::max(),
-              where() + what + " out of range: '" + token.text + "'");
-    return static_cast<int>(v);
+    long v = 0;
+    switch (try_parse_long(token.text, v, std::numeric_limits<long>::min(),
+                           std::numeric_limits<int>::max())) {
+      case ParseIntStatus::kOk:
+        BWS_CHECK(v >= 0, where() + what + " must be non-negative");
+        return static_cast<int>(v);
+      case ParseIntStatus::kMalformed:
+        BWS_THROW(where() + what + " must be an integer, got '" + token.text +
+                  "'");
+      case ParseIntStatus::kOutOfRange:
+        break;
+    }
+    BWS_THROW(where() + what + " out of range: '" + token.text + "'");
   }
 
   double parse_size_token() {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
@@ -11,6 +12,7 @@
 #include "core/event_queue.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/threadpool.hpp"
 
 namespace bwshare::sim {
 
@@ -121,6 +123,10 @@ class Engine {
     for (TaskId t = 0; t < trace_.num_tasks(); ++t) advance_task(t);
     const bool heap = cfg_.queue == QueueMode::kHeap;
     while (num_done_ < trace_.num_tasks()) {
+      // Flush point: solve every component the last event cascade dirtied,
+      // before any prediction below is read. The clock has not moved since
+      // they turned dirty, so deferring the solves to here is unobservable.
+      flush_refresh();
       // A predicted finish can sit in the past (a barrier cost overshot
       // it); the transfer then completes, late, at the current time.
       const double next_compute =
@@ -317,6 +323,11 @@ class Engine {
           now() - blocked_since_[static_cast<size_t>(u)];
       state_[static_cast<size_t>(u)] = TaskState::kReady;
     }
+    // Flush point: the barrier cost is about to advance the clock, so any
+    // component a completion dirtied earlier in this event must re-solve
+    // now — its members would otherwise integrate bytes across the cost
+    // interval at stale rates.
+    flush_refresh();
     clock_.advance_by(cfg_.barrier_cost);
     for (TaskId u = 0; u < trace_.num_tasks(); ++u)
       if (state_[static_cast<size_t>(u)] == TaskState::kReady) advance_task(u);
@@ -523,53 +534,131 @@ class Engine {
     for (const size_t s : loose_) attach_transfer(s);
   }
 
+  /// Event handlers call this after mutating the active set. Only kFull
+  /// re-solves immediately (the reference behaviour). The incremental modes
+  /// defer: dirty components accumulate until the next flush point — the
+  /// top of the event loop, or just before a barrier cost advances the
+  /// clock. The clock cannot move in between, so deferral is unobservable;
+  /// what it buys is batching, e.g. a barrier release posting N transfers
+  /// yields ONE flush with N disjoint dirty components, which is the fan-out
+  /// SolveMode::kParallel feeds to the pool.
   void refresh_rates() {
+    if (cfg_.refresh == RefreshMode::kFull) refresh_full();
+  }
+
+  /// Solve everything dirtied since the last flush. See refresh_rates().
+  void flush_refresh() {
     switch (cfg_.refresh) {
       case RefreshMode::kFull:
-        refresh_full();
-        break;
+        break;  // refresh_rates() already re-solved eagerly
       case RefreshMode::kIncremental:
         resolve_dirty();
         break;
       case RefreshMode::kCrossCheck:
         resolve_dirty();
         cross_check();
+        check_queue_keys();
         break;
     }
   }
 
+  /// Regroup the dirty components, then solve each one and commit the
+  /// results. The two phases are explicit: the *compute* phase reads shared
+  /// engine state (transfers, components, the provider) strictly const and
+  /// writes only its own staging slot — under SolveMode::kParallel each
+  /// component is an independent pool task; components are disjoint by
+  /// closure, and providers are const-safe over disjoint subsets (see
+  /// flowsim::RateProvider). The *commit* phase then writes rates back,
+  /// re-keys the finish-time queue and clears dirty flags sequentially, in
+  /// ascending component id, so the engine state after a flush is
+  /// bit-identical to kSerial at any thread count.
   void resolve_dirty() {
     rebuild_dirty_components();
+    solve_list_.clear();
     for (const int c : dirty_) {
       auto& comp = components_[static_cast<size_t>(c)];
       if (!comp.alive || !comp.dirty) continue;
-      solve_component(c);
       comp.dirty = false;
+      if (comp.members.empty()) continue;
+      // Members in posting (record) order: the restricted problem's flow
+      // ordering then matches refresh_full()'s, keeping the two refresh
+      // modes' arithmetic identical.
+      std::sort(comp.members.begin(), comp.members.end(),
+                [&](size_t a, size_t b) {
+                  return transfers_[a].record < transfers_[b].record;
+                });
+      solve_list_.push_back(c);
     }
     dirty_.clear();
+    if (solve_list_.empty()) return;
+    std::sort(solve_list_.begin(), solve_list_.end());
+    staged_.resize(solve_list_.size());
+
+    const bool parallel =
+        cfg_.solve == SolveMode::kParallel && solve_list_.size() > 1;
+    if (parallel) {
+      util::ThreadPool& pool = solve_pool();
+      util::TaskGroup group(pool);
+      // Chunked round-robin: enough tasks to balance uneven component
+      // sizes, few enough to keep per-task overhead negligible.
+      const size_t chunks =
+          std::min(solve_list_.size(),
+                   static_cast<size_t>(pool.num_threads()) * 4);
+      for (size_t chunk = 0; chunk < chunks; ++chunk) {
+        group.run([this, chunk, chunks] {
+          for (size_t i = chunk; i < solve_list_.size(); i += chunks)
+            compute_component_rates(solve_list_[i], staged_[i]);
+        });
+      }
+      group.wait();  // rethrows the first provider failure, if any
+    } else {
+      for (size_t i = 0; i < solve_list_.size(); ++i)
+        compute_component_rates(solve_list_[i], staged_[i]);
+    }
+
+    if (parallel && cfg_.refresh == RefreshMode::kCrossCheck) {
+      // Parallel-solve oracle: every component the pool solved is re-solved
+      // serially on this thread; any bit of divergence fails the replay.
+      std::vector<double> ref;
+      for (size_t i = 0; i < solve_list_.size(); ++i) {
+        compute_component_rates(solve_list_[i], ref);
+        for (size_t k = 0; k < ref.size(); ++k) {
+          BWS_CHECK(staged_[i][k] == ref[k],
+                    strformat("parallel solve diverged from serial: "
+                              "component %d member %zu rate %.17g vs %.17g "
+                              "at t=%.9g",
+                              solve_list_[i], k, staged_[i][k], ref[k],
+                              now()));
+        }
+      }
+    }
+
+    for (size_t i = 0; i < solve_list_.size(); ++i)
+      commit_component(solve_list_[i], staged_[i]);
   }
 
-  /// Solve one self-contained component: the induced communication graph of
-  /// its members is handed to the provider's component-restricted entry
-  /// point. Members are kept in posting (record) order so the restricted
-  /// problem's flow ordering matches refresh_full()'s, keeping the two
-  /// modes' arithmetic identical.
-  void solve_component(int c) {
-    auto& comp = components_[static_cast<size_t>(c)];
-    if (comp.members.empty()) return;
-    std::sort(comp.members.begin(), comp.members.end(),
-              [&](size_t a, size_t b) {
-                return transfers_[a].record < transfers_[b].record;
-              });
+  /// Compute phase of one component solve: build the induced communication
+  /// graph of the component's members and hand it to the provider's
+  /// component-restricted entry point. Reads shared state strictly const —
+  /// safe to run concurrently with other components' compute phases.
+  void compute_component_rates(int c, std::vector<double>& out) const {
+    const auto& comp = components_[static_cast<size_t>(c)];
     graph::CommGraph sub;
-    subset_.clear();
+    std::vector<graph::CommId> subset;
+    subset.reserve(comp.members.size());
     for (const size_t s : comp.members) {
       const Transfer& tr = transfers_[s];
       sub.add(strformat("t%zu", s), tr.src_node, tr.dst_node, tr.remaining);
-      subset_.push_back(static_cast<graph::CommId>(subset_.size()));
+      subset.push_back(static_cast<graph::CommId>(subset.size()));
     }
-    const auto rates = provider_.rates(sub, subset_);
-    BWS_ASSERT(rates.size() == comp.members.size(), "rate size mismatch");
+    out = provider_.rates(sub, subset);
+    BWS_ASSERT(out.size() == comp.members.size(), "rate size mismatch");
+  }
+
+  /// Commit phase: write one component's staged rates back into its
+  /// transfers and re-key their finish-time queue entries. Sequential only.
+  void commit_component(int c, const std::vector<double>& rates) {
+    const auto& comp = components_[static_cast<size_t>(c)];
     for (size_t k = 0; k < comp.members.size(); ++k) {
       BWS_CHECK(rates[k] > 0.0, "provider returned a zero rate");
       Transfer& tr = transfers_[comp.members[k]];
@@ -578,6 +667,15 @@ class Engine {
       if (cfg_.queue == QueueMode::kHeap)
         transfer_q_.update(tr.qh, tr.finish_pred);
     }
+  }
+
+  /// The pool parallel flushes run on: the injected one, else a lazily
+  /// created private pool (solve_threads workers).
+  util::ThreadPool& solve_pool() {
+    if (cfg_.solve_pool != nullptr) return *cfg_.solve_pool;
+    if (!owned_pool_)
+      owned_pool_ = std::make_unique<util::ThreadPool>(cfg_.solve_threads);
+    return *owned_pool_;
   }
 
   /// Alive transfer slots in posting (record) order — the deterministic
@@ -644,6 +742,22 @@ class Engine {
                 strformat("incremental refresh diverged from full solve: "
                           "comm record %zu rate %.17g vs %.17g at t=%.9g",
                           transfers_[slots[k]].record, inc, full, now()));
+    }
+  }
+
+  /// kCrossCheck under kHeap: every alive transfer's queue key must equal
+  /// its cached finish prediction — a commit that re-keyed the wrong entry
+  /// (or forgot one) surfaces here instead of as a silent mis-ordering.
+  void check_queue_keys() const {
+    if (cfg_.queue != QueueMode::kHeap) return;
+    for (const auto& tr : transfers_) {
+      if (!tr.alive) continue;
+      BWS_CHECK(transfer_q_.time_of(tr.qh) == tr.finish_pred,
+                strformat("finish-time queue key diverged from the cached "
+                          "prediction: comm record %zu keyed %.17g vs "
+                          "%.17g at t=%.9g",
+                          tr.record, transfer_q_.time_of(tr.qh),
+                          tr.finish_pred, now()));
     }
   }
 
@@ -881,7 +995,9 @@ class Engine {
   std::vector<int> free_components_;
   std::vector<int> dirty_;                        // dirty component ids
   std::vector<size_t> loose_;                     // rebuild scratch
-  std::vector<graph::CommId> subset_;             // solve scratch
+  std::vector<int> solve_list_;                   // flush work list
+  std::vector<std::vector<double>> staged_;       // staged per-comp rates
+  std::unique_ptr<util::ThreadPool> owned_pool_;  // lazy kParallel fallback
   std::unordered_map<topo::NodeId, int> node_owner_;
   std::unordered_map<int, int> key_owner_;
   SimResult result_;

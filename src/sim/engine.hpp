@@ -20,13 +20,23 @@
 // Rate refresh is incremental and component-scoped by default: when a
 // transfer starts or finishes, only the connected component(s) of the
 // conflict structure it touches are re-solved, and untouched components keep
-// their cached rates with lazily advanced byte counts. The event loop itself
-// runs on the shared event-core (core::EventQueue): predicted finish times
-// and compute wake-ups are indexed heap entries, re-keyed in O(log n) when a
-// component re-solve changes a prediction, so finding the next event never
-// scans the active set. See docs/PERFORMANCE.md for the invariants and
-// bench/engine_scaling.cpp for the measured speedup; EngineConfig::refresh
-// and EngineConfig::queue select the strategies.
+// their cached rates with lazily advanced byte counts. Dirty components are
+// not solved mid-event but at the next *flush point* (the top of the event
+// loop, or just before a barrier cost advances the clock) — the clock cannot
+// move in between, so deferral is unobservable, and it batches all the
+// components a same-time event cascade touched into one multi-component
+// solve. That batch is what EngineConfig::solve fans out:
+// SolveMode::kParallel computes each component's rates on a shared
+// util::ThreadPool (components are disjoint by construction, and providers
+// are const-safe over disjoint subsets), then commits them sequentially in
+// component-id order, so completion times are bit-identical to kSerial at
+// any thread count. The event loop itself runs on the shared event-core
+// (core::EventQueue): predicted finish times and compute wake-ups are
+// indexed heap entries, re-keyed in O(log n) when a component re-solve
+// changes a prediction, so finding the next event never scans the active
+// set. See docs/PERFORMANCE.md for the invariants and
+// bench/engine_scaling.cpp for the measured speedups; EngineConfig::refresh,
+// ::queue and ::solve select the strategies.
 #pragma once
 
 #include <string>
@@ -36,6 +46,10 @@
 #include "sim/events.hpp"
 #include "sim/schedule.hpp"
 #include "topo/cluster.hpp"
+
+namespace bwshare::util {
+class ThreadPool;
+}
 
 namespace bwshare::sim {
 
@@ -66,6 +80,19 @@ enum class QueueMode {
   kScan,
 };
 
+/// Where the per-component rate solves of a flush run
+/// (docs/PERFORMANCE.md, "The parallel component solver").
+enum class SolveMode {
+  /// One component after another on the calling thread.
+  kSerial,
+  /// Each component's rates are computed as an independent task on a
+  /// util::ThreadPool (components are disjoint, providers const-safe), then
+  /// committed sequentially in component-id order. Bit-identical to kSerial
+  /// at any thread count — which RefreshMode::kCrossCheck asserts by
+  /// re-solving every component serially after the parallel pass.
+  kParallel,
+};
+
 struct EngineConfig {
   /// Messages at least this long use rendezvous (sender blocks).
   double eager_threshold = 64.0 * 1024.0;
@@ -77,6 +104,17 @@ struct EngineConfig {
   RefreshMode refresh = RefreshMode::kIncremental;
   /// How the next event is selected.
   QueueMode queue = QueueMode::kHeap;
+  /// Where a flush runs its per-component solves.
+  SolveMode solve = SolveMode::kSerial;
+  /// Pool for SolveMode::kParallel (not owned; must outlive the
+  /// simulation). Inject one shared pool per process so concurrent engines
+  /// (e.g. sweep cells) don't oversubscribe the machine. When null and
+  /// solve == kParallel, the engine lazily creates a private pool with
+  /// `solve_threads` workers.
+  util::ThreadPool* solve_pool = nullptr;
+  /// Worker count for the lazily created private pool (0 = hardware).
+  /// Ignored when `solve_pool` is injected.
+  int solve_threads = 0;
 };
 
 /// One completed communication, as the simulator saw it.

@@ -13,6 +13,10 @@
 
 namespace bwshare::sim {
 
+/// Const-safe and reentrant like every RateProvider (see the base class
+/// contract): the penalty model is shared immutable state, all solve
+/// scratch is stack-local, so the engine's parallel flush may call
+/// rates(active, subset) from several threads over disjoint components.
 class ModelRateProvider final : public flowsim::RateProvider {
  public:
   ModelRateProvider(std::shared_ptr<const models::PenaltyModel> model,

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace bwshare::sim {
@@ -58,11 +59,17 @@ AppTrace read_trace(std::string_view text) {
   };
   auto parse_task = [&](const std::string& field,
                         const std::string& what) -> TaskId {
-    char* end = nullptr;
-    const long t = std::strtol(field.c_str(), &end, 10);
-    if (end == field.c_str() || *end != '\0')
-      fail("malformed " + what + " '" + field + "'");
-    if (t < 0 || t >= trace.num_tasks()) fail(what + " out of range");
+    long t = 0;
+    switch (try_parse_long(field, t, 0, trace.num_tasks() - 1)) {
+      case ParseIntStatus::kMalformed:
+        fail("malformed " + what + " '" + field + "'");
+        break;
+      case ParseIntStatus::kOutOfRange:
+        fail(what + " out of range");
+        break;
+      case ParseIntStatus::kOk:
+        break;
+    }
     return static_cast<TaskId>(t);
   };
   auto parse_number = [&](const std::string& field,
@@ -86,12 +93,18 @@ AppTrace read_trace(std::string_view text) {
     if (fields[0] == "tasks") {
       if (have_tasks) fail("duplicate 'tasks' directive");
       if (fields.size() != 2) fail("'tasks' takes one argument");
-      char* end = nullptr;
-      const long n = std::strtol(fields[1].c_str(), &end, 10);
-      if (end == fields[1].c_str() || *end != '\0')
-        fail("malformed task count '" + fields[1] + "'");
-      if (n < 1 || n > std::numeric_limits<int>::max())
-        fail("task count out of range");
+      long n = 0;
+      switch (try_parse_long(fields[1], n, 1,
+                             std::numeric_limits<int>::max())) {
+        case ParseIntStatus::kMalformed:
+          fail("malformed task count '" + fields[1] + "'");
+          break;
+        case ParseIntStatus::kOutOfRange:
+          fail("task count out of range");
+          break;
+        case ParseIntStatus::kOk:
+          break;
+      }
       trace = AppTrace(static_cast<int>(n));
       have_tasks = true;
       continue;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace bwshare {
@@ -59,11 +60,18 @@ std::string CliArgs::get(const std::string& name,
 long CliArgs::get_int(const std::string& name, long fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(it->second.c_str(), &end, 10);
-  BWS_CHECK(end && *end == '\0',
-            "flag --" + name + " expects an integer, got '" + it->second + "'");
-  return v;
+  long v = 0;
+  switch (try_parse_long(it->second, v)) {
+    case ParseIntStatus::kOk:
+      return v;
+    case ParseIntStatus::kOutOfRange:
+      BWS_THROW("flag --" + name + " integer out of range: '" + it->second +
+                "'");
+    case ParseIntStatus::kMalformed:
+      break;
+  }
+  BWS_THROW("flag --" + name + " expects an integer, got '" + it->second +
+            "'");
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {

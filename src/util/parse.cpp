@@ -1,0 +1,72 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace bwshare {
+
+namespace {
+
+[[nodiscard]] bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+ParseIntStatus try_parse_long(std::string_view text, long& out, long min,
+                              long max) {
+  if (text.empty()) return ParseIntStatus::kMalformed;
+  // strtol skips leading whitespace and accepts a lone sign prefix on
+  // garbage; reject both up front so the only accepted shape is
+  // [+-]?digits.
+  size_t first = 0;
+  if (text[0] == '+' || text[0] == '-') first = 1;
+  if (first == text.size() || !is_digit(text[first]))
+    return ParseIntStatus::kMalformed;
+  const std::string buf(text);  // strtol needs NUL termination
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return ParseIntStatus::kMalformed;
+  if (errno == ERANGE || v < min || v > max)
+    return ParseIntStatus::kOutOfRange;
+  out = v;
+  return ParseIntStatus::kOk;
+}
+
+ParseIntStatus try_parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return ParseIntStatus::kMalformed;
+  for (const char c : text)
+    if (!is_digit(c)) return ParseIntStatus::kMalformed;
+  const std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return ParseIntStatus::kMalformed;
+  if (errno == ERANGE) return ParseIntStatus::kOutOfRange;
+  out = static_cast<std::uint64_t>(v);
+  return ParseIntStatus::kOk;
+}
+
+long parse_long(std::string_view text, const std::string& what, long min,
+                long max) {
+  long v = 0;
+  switch (try_parse_long(text, v, min, max)) {
+    case ParseIntStatus::kOk:
+      return v;
+    case ParseIntStatus::kMalformed:
+      BWS_THROW(what + " must be an integer, got '" + std::string(text) +
+                "'");
+    case ParseIntStatus::kOutOfRange:
+      BWS_THROW(what + " out of range: '" + std::string(text) + "'");
+  }
+  BWS_THROW("unreachable");  // GCC: not all control paths visibly return
+}
+
+int parse_int(std::string_view text, const std::string& what, int min,
+              int max) {
+  return static_cast<int>(
+      parse_long(text, what, static_cast<long>(min), static_cast<long>(max)));
+}
+
+}  // namespace bwshare

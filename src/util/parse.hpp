@@ -1,0 +1,59 @@
+// Strict integer parsing, consolidated. Before this helper the repo carried
+// N hand-rolled strtol validations (scheme_parser, generator, cli, trace_io,
+// sweep, bwshare_cli) and only one of them checked ERANGE — a huge literal
+// silently truncated everywhere else. Every call site now funnels through
+// here and keeps its own error message by switching on ParseIntStatus (or
+// using the throwing wrappers, which phrase errors the way scheme_parser
+// always did).
+//
+// Strictness contract (deliberately tighter than raw strtol):
+//   * the whole string must parse — trailing garbage ("12x") is kMalformed;
+//   * no leading whitespace (" 5" is kMalformed; callers trim explicitly);
+//   * an empty string, a lone sign, and hex/octal prefixes are kMalformed
+//     ("0x10" stops at 'x'; base is always 10);
+//   * "+5"/"-5" are accepted (strtol sign handling), except by the unsigned
+//     parser, which accepts digits only — strtoull would wrap "-1" to
+//     2^64-1;
+//   * any value outside [min, max] — including strtol's own ERANGE clamp —
+//     is kOutOfRange, so casts to int never wrap.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace bwshare {
+
+enum class ParseIntStatus {
+  kOk,
+  kMalformed,   // empty, lone sign, leading whitespace, trailing garbage
+  kOutOfRange,  // parsed but outside the requested [min, max] (or ERANGE)
+};
+
+/// Parse a base-10 integer into `out`. On kOk, `out` is within [min, max];
+/// on any other status `out` is untouched.
+[[nodiscard]] ParseIntStatus try_parse_long(
+    std::string_view text, long& out,
+    long min = std::numeric_limits<long>::min(),
+    long max = std::numeric_limits<long>::max());
+
+/// Digits-only unsigned parse (no sign at all: strtoull would silently wrap
+/// "-1" into 2^64-1, which is how seeds used to mis-parse).
+[[nodiscard]] ParseIntStatus try_parse_u64(std::string_view text,
+                                           std::uint64_t& out);
+
+/// Throwing wrapper: bwshare::Error("<what> must be an integer, got
+/// '<text>'") on kMalformed, Error("<what> out of range: '<text>'") on
+/// kOutOfRange — the phrasing docs/SCHEME_DSL.md documents.
+[[nodiscard]] long parse_long(std::string_view text, const std::string& what,
+                              long min = std::numeric_limits<long>::min(),
+                              long max = std::numeric_limits<long>::max());
+
+/// parse_long constrained to int's range (plus any tighter [min, max]), so
+/// the cast can never wrap.
+[[nodiscard]] int parse_int(std::string_view text, const std::string& what,
+                            int min = std::numeric_limits<int>::min(),
+                            int max = std::numeric_limits<int>::max());
+
+}  // namespace bwshare

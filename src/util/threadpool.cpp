@@ -6,6 +6,12 @@
 
 namespace bwshare::util {
 
+namespace {
+// Which pool (if any) owns the current thread. Set once per worker at
+// spawn; lets on_worker_thread() answer without locking.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
 int ThreadPool::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
@@ -42,6 +48,8 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
 void ThreadPool::submit(std::function<void()> job) {
   BWS_CHECK(job != nullptr, "ThreadPool::submit: empty job");
   {
@@ -52,6 +60,9 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait_idle() {
+  BWS_CHECK(!on_worker_thread(),
+            "ThreadPool::wait_idle must not be called from a pool worker "
+            "(the waiting worker cannot run the jobs it waits for)");
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
   if (first_error_) {
@@ -62,6 +73,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   while (true) {
     std::function<void()> job;
     {
@@ -87,12 +99,59 @@ void ThreadPool::worker_loop() {
   }
 }
 
+TaskGroup::~TaskGroup() {
+  // Drain without rethrow: destructors must not throw. Errors a caller
+  // cares about are observed through an explicit wait(). A worker-thread
+  // destructor with pending tasks would deadlock just like wait() — that is
+  // a usage bug wait() would have flagged; nothing to do about it here
+  // beyond draining, which is a no-op when pending_ == 0 (the common case
+  // of wait() having already run).
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  BWS_CHECK(task != nullptr, "TaskGroup::run: empty task");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::wait() {
+  BWS_CHECK(!pool_.on_worker_thread(),
+            "TaskGroup::wait must not be called from a pool worker: a "
+            "worker blocked here cannot run the queued tasks it waits for "
+            "(nested-submit deadlock)");
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
 void parallel_for(ThreadPool& pool, int n,
                   const std::function<void(int)>& fn) {
+  TaskGroup group(pool);
   for (int i = 0; i < n; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+    group.run([&fn, i] { fn(i); });
   }
-  pool.wait_idle();
+  group.wait();
 }
 
 }  // namespace bwshare::util

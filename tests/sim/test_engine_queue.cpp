@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine_fuzz_util.hpp"
 #include "flowsim/fluid_network.hpp"
 #include "sim/engine.hpp"
 #include "sim/schedule.hpp"
@@ -34,75 +35,6 @@ SimResult run_cfg(const AppTrace& trace, const topo::ClusterSpec& cluster,
   cfg.queue = queue;
   cfg.barrier_cost = barrier_cost;
   return run_simulation(trace, cluster, placement, provider, cfg);
-}
-
-/// Exact equality — heap and scan run the same arithmetic in the same
-/// order, so every derived number must match to the last bit.
-void expect_bit_identical(const SimResult& a, const SimResult& b) {
-  ASSERT_EQ(a.comms.size(), b.comms.size());
-  EXPECT_EQ(a.makespan, b.makespan);
-  for (size_t i = 0; i < a.comms.size(); ++i) {
-    EXPECT_EQ(a.comms[i].start, b.comms[i].start) << "comm " << i;
-    EXPECT_EQ(a.comms[i].finish, b.comms[i].finish) << "comm " << i;
-    EXPECT_EQ(a.comms[i].penalty, b.comms[i].penalty) << "comm " << i;
-  }
-  ASSERT_EQ(a.tasks.size(), b.tasks.size());
-  for (size_t t = 0; t < a.tasks.size(); ++t) {
-    EXPECT_EQ(a.tasks[t].finish_time, b.tasks[t].finish_time) << "task " << t;
-    EXPECT_EQ(a.tasks[t].send_blocked_seconds, b.tasks[t].send_blocked_seconds)
-        << "task " << t;
-    EXPECT_EQ(a.tasks[t].recv_blocked_seconds, b.tasks[t].recv_blocked_seconds)
-        << "task " << t;
-    EXPECT_EQ(a.tasks[t].barrier_wait_seconds, b.tasks[t].barrier_wait_seconds)
-        << "task " << t;
-  }
-}
-
-/// Staggered trace with heavy prediction churn: rounds of hotspot fan-ins
-/// (everyone funnels into a rotating sink) mixed with random pairs, eager
-/// and rendezvous sizes, zero-length and short computes, barriers.
-AppTrace churn_trace(uint64_t seed, int tasks) {
-  Rng rng(seed * 9176959ULL + 11);
-  AppTrace trace(tasks);
-  const int rounds = 2 + static_cast<int>(rng.below(3));
-  for (int round = 0; round < rounds; ++round) {
-    const TaskId sink = static_cast<TaskId>(rng.below(static_cast<uint64_t>(tasks)));
-    for (TaskId src = 0; src < tasks; ++src) {
-      if (src == sink) continue;
-      // The fan-in: staggered joins shrink rates (finish times re-predict
-      // later); each completion restores them (re-predict earlier).
-      const double bytes = rng.uniform() < 0.25 ? 2e3 : rng.uniform(3e5, 5e6);
-      trace.push(sink, Event::irecv(src, bytes));
-      if (rng.uniform() < 0.4)
-        trace.push(src, Event::compute(rng.uniform(0.0, 0.01)));
-      if (rng.uniform() < 0.5) {
-        trace.push(src, Event::isend(sink, bytes));
-        trace.push(src, Event::wait_all());
-      } else {
-        trace.push(src, Event::send(sink, bytes));
-      }
-    }
-    trace.push(sink, Event::wait_all());
-    // Extra cross traffic so several components churn at once.
-    for (TaskId src = 0; src < tasks; ++src) {
-      if (rng.uniform() < 0.5) continue;
-      TaskId dst = static_cast<TaskId>(rng.below(static_cast<uint64_t>(tasks)));
-      if (dst == src) dst = (dst + 1) % tasks;
-      const double bytes = rng.uniform(1e5, 2e6);
-      trace.push(dst, Event::irecv(src, bytes));
-      trace.push(src, Event::isend(dst, bytes));
-      trace.push(src, Event::wait_all());
-    }
-    for (TaskId t = 0; t < tasks; ++t) {
-      if (rng.uniform() < 0.3)
-        trace.push(t, Event::compute(rng.uniform() < 0.3
-                                         ? 0.0
-                                         : rng.uniform(0.0, 0.02)));
-      trace.push(t, Event::wait_all());
-    }
-    trace.push_barrier_all();
-  }
-  return trace;
 }
 
 class QueueFuzz : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,218 @@
+// util::try_parse_long / try_parse_u64 and the throwing wrappers, plus one
+// integration test per consolidated call site (cli, scheme_parser,
+// generator, trace_io, sweep) pinning that site's overflow / trailing
+// garbage / sign / empty-string error messages. Before the consolidation
+// only scheme_parser checked ERANGE; these tests keep every site honest.
+#include "util/parse.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/sweep.hpp"
+#include "graph/generator.hpp"
+#include "graph/scheme_parser.hpp"
+#include "sim/trace_io.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace bwshare {
+namespace {
+
+/// Run `fn` expecting a bwshare::Error whose message contains `needle`.
+template <typename Fn>
+void expect_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected an Error containing \"" << needle << "\"";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error message was: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------- core API
+
+TEST(ParseLong, AcceptsPlainAndSignedDecimals) {
+  long v = 0;
+  EXPECT_EQ(try_parse_long("0", v), ParseIntStatus::kOk);
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(try_parse_long("42", v), ParseIntStatus::kOk);
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(try_parse_long("+7", v), ParseIntStatus::kOk);
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(try_parse_long("-19", v), ParseIntStatus::kOk);
+  EXPECT_EQ(v, -19);
+}
+
+TEST(ParseLong, RejectsEmptyAndLoneSign) {
+  long v = 123;
+  EXPECT_EQ(try_parse_long("", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_long("+", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_long("-", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(v, 123) << "out must be untouched on failure";
+}
+
+TEST(ParseLong, RejectsTrailingGarbageAndEmbeddedText) {
+  long v = 0;
+  EXPECT_EQ(try_parse_long("12x", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_long("1.5", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_long("1 2", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_long("abc", v), ParseIntStatus::kMalformed);
+}
+
+TEST(ParseLong, RejectsLeadingWhitespaceUnlikeRawStrtol) {
+  long v = 0;
+  EXPECT_EQ(try_parse_long(" 5", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_long("\t5", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_long("5 ", v), ParseIntStatus::kMalformed);
+}
+
+TEST(ParseLong, RejectsHexAndOctalPrefixes) {
+  long v = 0;
+  // Base is pinned to 10: "0x10" stops at the 'x' -> trailing garbage.
+  EXPECT_EQ(try_parse_long("0x10", v), ParseIntStatus::kMalformed);
+  // "010" is plain decimal ten, never octal eight.
+  EXPECT_EQ(try_parse_long("010", v), ParseIntStatus::kOk);
+  EXPECT_EQ(v, 10);
+}
+
+TEST(ParseLong, ReportsErangeOverflowAsOutOfRange) {
+  long v = 77;
+  // 20 nines overflows even 64-bit long (max ~9.2e18).
+  EXPECT_EQ(try_parse_long("99999999999999999999", v),
+            ParseIntStatus::kOutOfRange);
+  EXPECT_EQ(try_parse_long("-99999999999999999999", v),
+            ParseIntStatus::kOutOfRange);
+  EXPECT_EQ(v, 77) << "out must be untouched on failure";
+}
+
+TEST(ParseLong, EnforcesCallerBoundsInclusive) {
+  long v = 0;
+  EXPECT_EQ(try_parse_long("10", v, 1, 10), ParseIntStatus::kOk);
+  EXPECT_EQ(try_parse_long("1", v, 1, 10), ParseIntStatus::kOk);
+  EXPECT_EQ(try_parse_long("0", v, 1, 10), ParseIntStatus::kOutOfRange);
+  EXPECT_EQ(try_parse_long("11", v, 1, 10), ParseIntStatus::kOutOfRange);
+  EXPECT_EQ(try_parse_long("-5", v, 0, 100), ParseIntStatus::kOutOfRange);
+}
+
+TEST(ParseU64, AcceptsDigitsOnly) {
+  std::uint64_t v = 0;
+  EXPECT_EQ(try_parse_u64("0", v), ParseIntStatus::kOk);
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(try_parse_u64("18446744073709551615", v), ParseIntStatus::kOk);
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsSignsEntirely) {
+  // strtoull would wrap "-1" into 2^64-1; the digits-only contract forbids
+  // any sign, including "+".
+  std::uint64_t v = 9;
+  EXPECT_EQ(try_parse_u64("-1", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_u64("+1", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(v, 9u);
+}
+
+TEST(ParseU64, RejectsEmptyGarbageAndOverflow) {
+  std::uint64_t v = 0;
+  EXPECT_EQ(try_parse_u64("", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_u64("12x", v), ParseIntStatus::kMalformed);
+  EXPECT_EQ(try_parse_u64(" 1", v), ParseIntStatus::kMalformed);
+  // 2^64 exactly: one past max.
+  EXPECT_EQ(try_parse_u64("18446744073709551616", v),
+            ParseIntStatus::kOutOfRange);
+}
+
+TEST(ParseThrowing, ParseLongPhrasesErrorsLikeSchemeParser) {
+  EXPECT_EQ(parse_long("-3", "offset"), -3);
+  expect_error([] { (void)parse_long("1.5", "offset"); },
+               "offset must be an integer, got '1.5'");
+  expect_error([] { (void)parse_long("", "offset"); },
+               "offset must be an integer, got ''");
+  expect_error([] { (void)parse_long("99999999999999999999", "offset"); },
+               "offset out of range: '99999999999999999999'");
+}
+
+TEST(ParseThrowing, ParseIntNeverWrapsThroughTheIntCast) {
+  EXPECT_EQ(parse_int("2147483647", "count"), 2147483647);
+  // 2^31 (one past INT_MAX) and 2^32+2 (wraps to 2 if cast blindly).
+  expect_error([] { (void)parse_int("2147483648", "count"); },
+               "count out of range: '2147483648'");
+  expect_error([] { (void)parse_int("4294967298", "count"); },
+               "count out of range: '4294967298'");
+  expect_error([] { (void)parse_int("-2147483649", "count"); },
+               "count out of range: '-2147483649'");
+}
+
+// ----------------------------------------------------- call-site messages
+
+TEST(ParseCallSites, CliFlagMessages) {
+  const auto get = [](const char* value) {
+    const char* argv[] = {"prog", "--n", value};
+    return CliArgs(3, argv).get_int("n", 0);
+  };
+  EXPECT_EQ(get("-12"), -12);
+  expect_error([&] { (void)get("1x"); },
+               "flag --n expects an integer, got '1x'");
+  expect_error([&] { (void)get("99999999999999999999"); },
+               "flag --n integer out of range: '99999999999999999999'");
+}
+
+TEST(ParseCallSites, SchemeParserMessages) {
+  // These three rows also appear in docs/SCHEME_DSL.md "Rejected examples".
+  expect_error([] { (void)graph::parse_scheme("comm a 1.5 -> 2\n"); },
+               "line 1: source node must be an integer, got '1.5'");
+  expect_error(
+      [] { (void)graph::parse_scheme("nodes 99999999999999999999\n"); },
+      "node count out of range: '99999999999999999999'");
+  expect_error([] { (void)graph::parse_scheme("comm a 4294967296 -> 2\n"); },
+               "source node out of range: '4294967296'");
+}
+
+TEST(ParseCallSites, GeneratorSpecMessages) {
+  expect_error([] { (void)graph::parse_generator_spec("ring:nodes=8x"); },
+               "generator: nodes expects an integer, got '8x'");
+  expect_error([] { (void)graph::parse_generator_spec("ring:nodes="); },
+               "generator: nodes expects an integer, got ''");
+  expect_error([] { (void)graph::parse_generator_spec("ring:nodes=4294967298"); },
+               "generator: nodes value '4294967298' is out of range");
+  expect_error(
+      [] { (void)graph::parse_generator_spec(
+               "random:comms=99999999999999999999"); },
+      "generator: comms value '99999999999999999999' is out of range");
+}
+
+TEST(ParseCallSites, TraceIoMessages) {
+  expect_error([] { (void)sim::read_trace("tasks two\n"); },
+               "trace line 1: malformed task count 'two'");
+  expect_error([] { (void)sim::read_trace("tasks 99999999999999999999\n"); },
+               "trace line 1: task count out of range");
+  expect_error([] { (void)sim::read_trace("tasks -2\n"); },
+               "trace line 1: task count out of range");
+  expect_error([] { (void)sim::read_trace("tasks 2\n1.5 barrier\n"); },
+               "trace line 2: malformed task id '1.5'");
+  expect_error([] { (void)sim::read_trace("tasks 2\n-1 barrier\n"); },
+               "trace line 2: task id out of range");
+  expect_error(
+      [] { (void)sim::read_trace("tasks 2\n99999999999999999999 barrier\n"); },
+      "trace line 2: task id out of range");
+}
+
+TEST(ParseCallSites, SweepShapeMessages) {
+  expect_error([] { (void)eval::parse_sweep_shape("8.5x2"); },
+               "shape '8.5x2': bad node count '8.5'");
+  expect_error([] { (void)eval::parse_sweep_shape("x2"); },
+               "shape 'x2': bad node count ''");
+  expect_error([] { (void)eval::parse_sweep_shape("4294967298x2"); },
+               "shape '4294967298x2': bad node count '4294967298'");
+  expect_error([] { (void)eval::parse_sweep_shape("8x-2"); },
+               "shape '8x-2': bad core count '-2'");
+  expect_error([] { (void)eval::parse_sweep_shape("8x99999999999999999999"); },
+               "shape '8x99999999999999999999': bad core count "
+               "'99999999999999999999'");
+}
+
+}  // namespace
+}  // namespace bwshare
