@@ -13,11 +13,17 @@
 // flushes N/2 disjoint dirty components at once, the widest batch the
 // parallel solver can fan out.
 //
-// Emits BENCH_engine.json (schema_version 3, docs/PERFORMANCE.md) so the
+// A --churn axis (events/s, default 0) scripts seeded node join/leave/fail
+// events onto every replay (sim/scenario.hpp): failures abort in-flight
+// transfers and dirty their components, so churned rows measure the
+// incremental/parallel solver under membership events instead of assuming
+// the static-cluster numbers transfer.
+//
+// Emits BENCH_engine.json (schema_version 4, docs/PERFORMANCE.md) so the
 // repo keeps a machine-readable perf trajectory: one row per
-// provider x node count x queue mode x solve mode, each echoing the RNG
-// seed, the refresh mode and the thread count it measured so a baseline is
-// reproducible from the file alone. Node counts above --max-full-nodes run
+// provider x node count x churn rate x queue mode x solve mode, each
+// echoing the RNG seed, the refresh mode and the thread count it measured
+// so a baseline is reproducible from the file alone. Node counts above --max-full-nodes run
 // the incremental path only (the full solve becomes quadratic-plus and
 // would dominate the bench's wall time); their full_ms/speedup fields are
 // null. Scan rows stop above --max-scan-nodes (the per-event scans are
@@ -31,6 +37,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <numeric>
@@ -38,6 +45,7 @@
 #include <vector>
 
 #include "flowsim/fluid_network.hpp"
+#include "graph/generator.hpp"
 #include "models/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/rate_model.hpp"
@@ -84,7 +92,8 @@ struct Run {
 
 Run timed_run(const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
               const sim::Placement& placement,
-              const flowsim::RateProvider& provider, sim::RefreshMode mode,
+              const flowsim::RateProvider& provider,
+              const sim::Scenario& scenario, sim::RefreshMode mode,
               sim::QueueMode queue,
               sim::SolveMode solve = sim::SolveMode::kSerial,
               util::ThreadPool* pool = nullptr) {
@@ -95,7 +104,8 @@ Run timed_run(const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
   cfg.queue = queue;
   cfg.solve = solve;
   cfg.solve_pool = pool;
-  out.result = sim::run_simulation(trace, cluster, placement, provider, cfg);
+  out.result =
+      sim::run_simulation(trace, cluster, placement, provider, scenario, cfg);
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_ms =
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
@@ -132,6 +142,10 @@ void usage(const char* prog) {
       << "  --rounds R            matching rounds per scenario (default 3)\n"
       << "  --bytes B             message size in bytes (default 4000000)\n"
       << "  --seed S              matching seed (default 1)\n"
+      << "  --churn LIST          membership-churn rates in events/s of\n"
+      << "                        simulated time (default 0; each nonzero\n"
+      << "                        rate adds a row set replaying under a\n"
+      << "                        seeded join/leave/fail script)\n"
       << "  --providers LIST      fluid and/or gige (default fluid)\n"
       << "  --queues LIST         heap and/or scan next-event selection\n"
       << "                        (default heap,scan; scan rows must be\n"
@@ -158,8 +172,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = args.unknown_flags(
-      {"nodes", "rounds", "bytes", "seed", "providers", "queues", "solve",
-       "threads", "max-full-nodes", "max-scan-nodes", "out", "help"});
+      {"nodes", "rounds", "bytes", "seed", "churn", "providers", "queues",
+       "solve", "threads", "max-full-nodes", "max-scan-nodes", "out",
+       "help"});
   if (!unknown.empty()) {
     std::cerr << "error: unknown flag --" << unknown.front() << "\n";
     usage(args.program().c_str());
@@ -182,6 +197,15 @@ int main(int argc, char** argv) {
   std::vector<int> sizes;
   for (const auto& tok : split(nodes_list, ','))
     sizes.push_back(static_cast<int>(parse_size(trim(tok))));
+  std::vector<double> churn_rates;
+  for (const auto& tok : split(args.get("churn", "0"), ',')) {
+    char* end = nullptr;
+    const std::string text{trim(tok)};
+    const double rate = std::strtod(text.c_str(), &end);
+    BWS_CHECK(end != text.c_str() && *end == '\0' && rate >= 0.0,
+              "--churn expects comma-separated non-negative rates");
+    churn_rates.push_back(rate);
+  }
   std::vector<std::string> provider_names = split(providers, ',');
   bool with_heap = false;
   bool with_scan = false;
@@ -219,11 +243,14 @@ int main(int argc, char** argv) {
   std::string rows;
   bool all_equivalent = true;
 
-  // One emitted row per provider x node count x queue mode x solve mode.
+  // One emitted row per provider x node count x churn rate x queue mode x
+  // solve mode.
   struct Row {
     const char* queue = "";
     const char* solve = "serial";
     int threads = 1;
+    double churn = 0.0;
+    size_t aborted = 0;
     double makespan = 0.0;
     double incremental_ms = 0.0;
     double full_ms = -1.0;           // < 0 -> null
@@ -235,10 +262,11 @@ int main(int argc, char** argv) {
     bool crosscheck = false;
   };
 
-  std::printf("%-8s %-7s %-5s %-8s %10s %14s %9s %12s %13s %13s %13s  %s\n",
-              "provider", "nodes", "queue", "solve", "full_ms",
-              "incremental_ms", "speedup", "max_rel_err", "queue_rel_err",
-              "solve_rel_err", "solve_speedup", "crosscheck");
+  std::printf(
+      "%-8s %-7s %-6s %-5s %-8s %10s %14s %9s %12s %13s %13s %13s  %s\n",
+      "provider", "nodes", "churn", "queue", "solve", "full_ms",
+      "incremental_ms", "speedup", "max_rel_err", "queue_rel_err",
+      "solve_rel_err", "solve_speedup", "crosscheck");
   for (const auto& pname : provider_names) {
     const flowsim::FluidRateProvider fluid(cal);
     std::shared_ptr<const models::PenaltyModel> model;
@@ -262,6 +290,15 @@ int main(int argc, char** argv) {
       const bool with_full = n <= max_full;
       std::vector<Row> cell_rows;
 
+      for (const double churn : churn_rates) {
+      sim::Scenario scenario;
+      if (churn > 0.0) {
+        graph::ChurnSpec churn_spec;
+        churn_spec.rate = churn;
+        churn_spec.nodes = n;
+        scenario.churn = graph::generate_churn(churn_spec, seed);
+      }
+
       // Time the full refresh against `inc`, record the speedup and the
       // full-vs-incremental divergence, then replay in kCrossCheck — the
       // per-event rate equivalence (plus, under kHeap, the
@@ -269,13 +306,14 @@ int main(int argc, char** argv) {
       // on any divergence.
       const auto measure_full = [&](Row& row, const Run& inc,
                                     sim::QueueMode queue) {
-        const Run full = timed_run(trace, cluster, placement, *provider,
-                                   sim::RefreshMode::kFull, queue);
+        const Run full =
+            timed_run(trace, cluster, placement, *provider, scenario,
+                      sim::RefreshMode::kFull, queue);
         row.full_ms = full.wall_ms;
         row.speedup = inc.wall_ms > 0.0 ? full.wall_ms / inc.wall_ms : -1.0;
         row.max_rel_err = max_rel_err(full.result, inc.result);
         if (row.max_rel_err > 1e-9) all_equivalent = false;
-        (void)timed_run(trace, cluster, placement, *provider,
+        (void)timed_run(trace, cluster, placement, *provider, scenario,
                         sim::RefreshMode::kCrossCheck, queue);
         row.crosscheck = true;
       };
@@ -291,7 +329,7 @@ int main(int argc, char** argv) {
         if (with_serial || with_parallel) {
           // The serial run doubles as the parallel rows' oracle baseline,
           // so it runs whenever any solve mode is requested.
-          serial = timed_run(trace, cluster, placement, *provider,
+          serial = timed_run(trace, cluster, placement, *provider, scenario,
                              sim::RefreshMode::kIncremental, queue);
         }
         if (with_serial) {
@@ -299,6 +337,8 @@ int main(int argc, char** argv) {
           row.queue = queue_name;
           row.solve = "serial";
           row.threads = 1;
+          row.churn = churn;
+          row.aborted = serial.result.aborted_comms;
           row.makespan = serial.result.makespan;
           row.incremental_ms = serial.wall_ms;
           if (heap_serial != nullptr) {
@@ -314,13 +354,15 @@ int main(int argc, char** argv) {
         }
         if (with_parallel) {
           const Run parallel = timed_run(
-              trace, cluster, placement, *provider,
+              trace, cluster, placement, *provider, scenario,
               sim::RefreshMode::kIncremental, queue,
               sim::SolveMode::kParallel, pool.get());
           Row row;
           row.queue = queue_name;
           row.solve = "parallel";
           row.threads = pool_threads;
+          row.churn = churn;
+          row.aborted = parallel.result.aborted_comms;
           row.makespan = parallel.result.makespan;
           row.incremental_ms = parallel.wall_ms;
           row.solve_rel_err = max_rel_err(serial.result, parallel.result);
@@ -329,7 +371,7 @@ int main(int argc, char** argv) {
                                   ? serial.wall_ms / parallel.wall_ms
                                   : -1.0;
           if (with_full) {
-            (void)timed_run(trace, cluster, placement, *provider,
+            (void)timed_run(trace, cluster, placement, *provider, scenario,
                             sim::RefreshMode::kCrossCheck, queue,
                             sim::SolveMode::kParallel, pool.get());
             row.crosscheck = true;
@@ -349,12 +391,15 @@ int main(int argc, char** argv) {
         run_queue_cell(sim::QueueMode::kScan, "scan",
                        have_heap_serial ? &heap_serial : nullptr);
       }
+      }  // churn axis
 
       for (const Row& row : cell_rows) {
         const bool has_full = row.full_ms >= 0.0;
         std::printf(
-            "%-8s %-7d %-5s %-8s %10s %14.3f %9s %12s %13s %13s %13s  %s\n",
-            pname.c_str(), n, row.queue, row.solve,
+            "%-8s %-7d %-6s %-5s %-8s %10s %14.3f %9s %12s %13s %13s %13s"
+            "  %s\n",
+            pname.c_str(), n, strformat("%g", row.churn).c_str(), row.queue,
+            row.solve,
             has_full ? strformat("%.3f", row.full_ms).c_str() : "-",
             row.incremental_ms,
             has_full ? strformat("%.2fx", row.speedup).c_str() : "-",
@@ -375,6 +420,7 @@ int main(int argc, char** argv) {
         rows += strformat(
             "\n    {\"provider\": \"%s\", \"nodes\": %d, "
             "\"comms_per_round\": %d, \"rounds\": %d, \"seed\": %llu, "
+            "\"churn_rate\": %s, \"aborted\": %zu, "
             "\"queue\": \"%s\", \"solve\": \"%s\", \"threads\": %d, "
             "\"refresh\": \"incremental\", "
             "\"makespan\": %s, \"full_ms\": %s, \"incremental_ms\": %s, "
@@ -382,7 +428,8 @@ int main(int argc, char** argv) {
             "\"solve_rel_err\": %s, \"solve_speedup\": %s, "
             "\"crosscheck\": %s}",
             pname.c_str(), n, n / 2, rounds,
-            static_cast<unsigned long long>(seed), row.queue, row.solve,
+            static_cast<unsigned long long>(seed),
+            json_num(row.churn).c_str(), row.aborted, row.queue, row.solve,
             row.threads, json_num(row.makespan).c_str(),
             row.full_ms >= 0.0 ? json_num(row.full_ms).c_str() : "null",
             json_num(row.incremental_ms).c_str(),
@@ -403,6 +450,11 @@ int main(int argc, char** argv) {
   std::string nodes_json;
   for (const int n : sizes)
     nodes_json += strformat(nodes_json.empty() ? "%d" : ", %d", n);
+  std::string churn_json;
+  for (const double churn : churn_rates) {
+    if (!churn_json.empty()) churn_json += ", ";
+    churn_json += json_num(churn);
+  }
   std::string providers_json;
   for (const auto& pname : provider_names) {
     if (!providers_json.empty()) providers_json += ", ";
@@ -417,15 +469,17 @@ int main(int argc, char** argv) {
     solves_json += solves_json.empty() ? "\"parallel\"" : ", \"parallel\"";
 
   const std::string json = strformat(
-      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 3,\n"
+      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 4,\n"
       "  \"config\": {\"rounds\": %d, \"bytes\": %s, \"seed\": %llu, "
       "\"max_full_nodes\": %ld, \"max_scan_nodes\": %ld, \"nodes\": [%s], "
+      "\"churn\": [%s], "
       "\"providers\": [%s], \"queues\": [%s], \"solves\": [%s], "
       "\"threads\": %d},\n  \"results\": [%s\n  ]\n}\n",
       rounds, json_num(bytes).c_str(),
       static_cast<unsigned long long>(seed), max_full, max_scan,
-      nodes_json.c_str(), providers_json.c_str(), queues_json.c_str(),
-      solves_json.c_str(), with_parallel ? pool_threads : 1, rows.c_str());
+      nodes_json.c_str(), churn_json.c_str(), providers_json.c_str(),
+      queues_json.c_str(), solves_json.c_str(),
+      with_parallel ? pool_threads : 1, rows.c_str());
   util::write_text_file(out_path, json);
   std::cout << "  [json written to " << out_path << "]\n";
 

@@ -15,6 +15,14 @@
 //       thread pool; axis reference and column glossary in
 //       docs/EXPERIMENTS.md.
 //
+//   bwshare_cli multijob a.trace b.trace [--network gige] [--schedule RRN]
+//       Co-schedule several traced jobs on ONE shared cluster
+//       (sim::run_multi_job) and report per-job interference.
+//
+// The trace and multijob subcommands accept a dynamic-cluster scenario
+// (--churn/--background, sim/scenario.hpp): seeded Poisson membership
+// events and cross-traffic contending with the replay.
+//
 // Exit codes: 0 success, 1 runtime failure (including any errored sweep
 // cell), 2 usage error (unknown subcommand or flag, missing argument).
 #include <cstdint>
@@ -27,10 +35,13 @@
 #include "eval/sweep.hpp"
 #include "util/csv.hpp"
 #include "flowsim/fluid_network.hpp"
+#include "graph/generator.hpp"
 #include "graph/scheme_parser.hpp"
 #include "models/registry.hpp"
+#include "sim/multijob.hpp"
 #include "sim/rate_model.hpp"
 #include "sim/report.hpp"
+#include "sim/scenario.hpp"
 #include "sim/trace_io.hpp"
 #include "topo/cluster.hpp"
 #include "util/cli.hpp"
@@ -68,6 +79,18 @@ int usage(const std::string& prog) {
       << "    --schedule RRN|RRP|Random  placement policy (default RRN,\n"
       << "                               §VI-A round-robin per node)\n"
       << "    --nodes N --cores C        cluster shape (default 16x2)\n"
+      << "    --churn R                  node join/leave/fail events per\n"
+      << "                               second of simulated time (default 0)\n"
+      << "    --background R             background flows per second\n"
+      << "                               contending with the job (default 0)\n"
+      << "    --scenario-seed S          seed for the scripted scenario\n"
+      << "                               (default 42)\n"
+      << "\n"
+      << "  multijob <a.trace> <b.trace> [...]\n"
+      << "                         co-schedule traced jobs on one shared\n"
+      << "                         cluster; per-job interference table\n"
+      << "    --network/--schedule/--nodes/--cores/--churn/--background/\n"
+      << "    --scenario-seed            as for trace\n"
       << "\n"
       << "  sweep                  run a campaign grid in parallel\n"
       << "                         (docs/EXPERIMENTS.md)\n"
@@ -83,6 +106,10 @@ int usage(const std::string& prog) {
       << "                               (default gige,myrinet)\n"
       << "    --shapes NxC,...           cluster shapes (default 16x2)\n"
       << "    --schedules p1,p2,...      trace-cell policies (default RRN)\n"
+      << "    --churn-rates r1,r2,...    membership-churn axis, events/s on\n"
+      << "                               trace cells (default 0)\n"
+      << "    --background-loads r1,...  background-flow axis, flows/s on\n"
+      << "                               trace cells (default 0)\n"
       << "    --seeds s1,s2,...          (default 1,2,3)\n"
       << "    --threads N                worker threads (default: hardware)\n"
       << "    --csv PATH --json PATH     write per-cell results\n"
@@ -130,6 +157,37 @@ int run_scheme(const CliArgs& args, const std::string& path) {
   return 0;
 }
 
+/// Seeded dynamic-cluster scenario from the --churn / --background /
+/// --scenario-seed flags: Poisson scripts over a 1 s horizon (the sweep
+/// axes' convention, docs/EXPERIMENTS.md).
+sim::Scenario scenario_from_flags(const CliArgs& args, int nodes) {
+  sim::Scenario scenario;
+  const double churn = args.get_double("churn", 0.0);
+  const double background = args.get_double("background", 0.0);
+  const auto seed =
+      static_cast<uint64_t>(args.get_int("scenario-seed", 42));
+  if (churn > 0.0) {
+    graph::ChurnSpec spec;
+    spec.rate = churn;
+    spec.nodes = nodes;
+    scenario.churn = graph::generate_churn(spec, seed);
+  }
+  if (background > 0.0) {
+    graph::BackgroundSpec spec;
+    spec.rate = background;
+    spec.nodes = nodes;
+    scenario.background = graph::generate_background(spec, seed);
+  }
+  return scenario;
+}
+
+void describe_scenario(const sim::Scenario& scenario) {
+  if (scenario.empty()) return;
+  std::cout << "scenario: " << scenario.churn.size()
+            << " churn event(s), " << scenario.background.size()
+            << " background flow(s)\n";
+}
+
 int run_trace(const CliArgs& args, const std::string& path) {
   const auto trace = sim::read_trace_file(path);
   trace.validate();
@@ -141,24 +199,61 @@ int run_trace(const CliArgs& args, const std::string& path) {
       sim::scheduling_policy_from_string(args.get("schedule", "RRN"));
   const auto placement =
       sim::make_placement(policy, cluster, trace.num_tasks());
+  const auto scenario = scenario_from_flags(args, cluster.num_nodes());
 
   std::cout << "trace " << path << ": " << trace.num_tasks() << " tasks, "
             << trace.total_events() << " events, "
             << human_bytes(trace.total_bytes_sent()) << " sent; "
             << to_string(policy) << " on " << cluster.num_nodes() << "x"
             << cluster.node(0).cores << " " << to_string(tech) << "\n";
+  describe_scenario(scenario);
 
   const flowsim::FluidRateProvider fluid(cluster.network());
-  const auto measured = sim::run_simulation(trace, cluster, placement, fluid);
+  const auto measured =
+      sim::run_simulation(trace, cluster, placement, fluid, scenario);
   std::cout << "\nsubstrate (\"measured\"): " << sim::render_summary(measured)
             << "\n" << sim::render_task_table(measured);
 
   std::shared_ptr<const models::PenaltyModel> model = models::model_for(tech);
   const sim::ModelRateProvider provider(model, cluster.network());
   const auto predicted =
-      sim::run_simulation(trace, cluster, placement, provider);
+      sim::run_simulation(trace, cluster, placement, provider, scenario);
   std::cout << "\nmodel '" << model->name()
             << "' (\"predicted\"): " << sim::render_summary(predicted) << "\n";
+  return 0;
+}
+
+int run_multijob(const CliArgs& args, const std::vector<std::string>& paths) {
+  const auto tech = topo::network_tech_from_string(args.get("network", "gige"));
+  const auto cluster = topo::ClusterSpec::uniform(
+      "cli", static_cast<int>(args.get_int("nodes", 16)),
+      static_cast<int>(args.get_int("cores", 2)), topo::calibration_for(tech));
+  const auto policy =
+      sim::scheduling_policy_from_string(args.get("schedule", "RRN"));
+  std::vector<sim::JobSpec> jobs;
+  for (const auto& path : paths) {
+    sim::JobSpec job;
+    const auto slash = path.find_last_of('/');
+    job.name = slash == std::string::npos ? path : path.substr(slash + 1);
+    job.trace = sim::read_trace_file(path);
+    job.trace.validate();
+    // Each job is placed independently by the policy, so jobs overlap on
+    // the cluster — the contention being measured.
+    job.placement =
+        sim::make_placement(policy, cluster, job.trace.num_tasks());
+    jobs.push_back(std::move(job));
+  }
+  const auto scenario = scenario_from_flags(args, cluster.num_nodes());
+
+  std::cout << "multijob: " << jobs.size() << " job(s), "
+            << to_string(policy) << " on " << cluster.num_nodes() << "x"
+            << cluster.node(0).cores << " " << to_string(tech) << "\n";
+  describe_scenario(scenario);
+
+  const flowsim::FluidRateProvider fluid(cluster.network());
+  const auto result = sim::run_multi_job(jobs, cluster, fluid, scenario);
+  std::cout << "\nshared replay: " << sim::render_summary(result.combined)
+            << "\n\n" << sim::render_multi_job_table(result);
   return 0;
 }
 
@@ -169,6 +264,21 @@ std::vector<std::string> split_list(const CliArgs& args,
   for (const auto& item : split(args.get(flag, fallback), ',')) {
     const auto trimmed = trim(item);
     if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+std::vector<double> split_double_list(const CliArgs& args,
+                                      const std::string& flag,
+                                      const std::string& fallback) {
+  std::vector<double> out;
+  for (const auto& item : split_list(args, flag, fallback)) {
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str(), &end);
+    BWS_CHECK(end != item.c_str() && *end == '\0',
+              "--" + flag + " expects comma-separated numbers, got '" + item +
+                  "'");
+    out.push_back(value);
   }
   return out;
 }
@@ -211,6 +321,8 @@ int run_sweep(const CliArgs& args) {
   for (const auto& name : split_list(args, "schedules", "RRN")) {
     spec.policies.push_back(sim::scheduling_policy_from_string(name));
   }
+  spec.churn_rates = split_double_list(args, "churn-rates", "0");
+  spec.background_loads = split_double_list(args, "background-loads", "0");
   spec.seeds.clear();
   for (const auto& text : split_list(args, "seeds", "1,2,3")) {
     // try_parse_u64 is digits only: strtoull would silently wrap "-1" to
@@ -234,10 +346,12 @@ int run_sweep(const CliArgs& args) {
   const auto result = sweep.run(threads);
 
   TextTable table({"kind", "workload", "network", "model", "shape", "policy",
-                   "seed", "E_abs [%]", "status"});
+                   "churn", "bg", "seed", "E_abs [%]", "status"});
   for (const auto& cell : result.cells) {
     table.add_row({cell.kind, cell.workload, cell.network, cell.model,
                    strformat("%dx%d", cell.nodes, cell.cores), cell.policy,
+                   strformat("%g", cell.churn_rate),
+                   strformat("%g", cell.background_load),
                    strformat("%llu",
                              static_cast<unsigned long long>(cell.seed)),
                    strformat("%.1f", cell.eabs_pct),
@@ -299,10 +413,24 @@ int main(int argc, char** argv) {
     if (subcommand == "trace") {
       if (pos.size() < 2 ||
           !check_flags(args, subcommand,
-                       {"network", "schedule", "nodes", "cores"})) {
+                       {"network", "schedule", "nodes", "cores", "churn",
+                        "background", "scenario-seed"})) {
         return usage(args.program());
       }
       return run_trace(args, pos[1]);
+    }
+    if (subcommand == "multijob") {
+      if (pos.size() < 3 ||
+          !check_flags(args, subcommand,
+                       {"network", "schedule", "nodes", "cores", "churn",
+                        "background", "scenario-seed"})) {
+        if (pos.size() < 3)
+          std::cerr << args.program()
+                    << " multijob: needs at least two trace files\n";
+        return usage(args.program());
+      }
+      return run_multijob(
+          args, std::vector<std::string>(pos.begin() + 1, pos.end()));
     }
     if (subcommand == "sweep") {
       // Workloads are flags (--schemes/--traces), never positionals; a
@@ -314,8 +442,8 @@ int main(int argc, char** argv) {
       }
       if (!check_flags(args, subcommand,
                        {"schemes", "traces", "networks", "models", "shapes",
-                        "schedules", "seeds", "threads", "csv", "json",
-                        "marginals"})) {
+                        "schedules", "churn-rates", "background-loads",
+                        "seeds", "threads", "csv", "json", "marginals"})) {
         return usage(args.program());
       }
       return run_sweep(args);

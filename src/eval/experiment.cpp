@@ -33,7 +33,8 @@ ApplicationComparison compare_application(const sim::AppTrace& trace,
                                           const topo::ClusterSpec& cluster,
                                           sim::SchedulingPolicy policy,
                                           const models::PenaltyModel& model,
-                                          uint64_t seed) {
+                                          uint64_t seed,
+                                          const sim::Scenario& scenario) {
   ApplicationComparison out;
   out.placement =
       sim::make_placement(policy, cluster, trace.num_tasks(), seed);
@@ -43,14 +44,14 @@ ApplicationComparison compare_application(const sim::AppTrace& trace,
   // sweep grids over large clusters would otherwise spend nearly all their
   // time in full per-event re-solves and next-completion scans.
   const flowsim::FluidRateProvider measured_provider(cluster.network());
-  const auto measured =
-      sim::run_simulation(trace, cluster, out.placement, measured_provider);
+  const auto measured = sim::run_simulation(trace, cluster, out.placement,
+                                            measured_provider, scenario);
 
   const std::shared_ptr<const models::PenaltyModel> alias(
       std::shared_ptr<const models::PenaltyModel>{}, &model);
   const sim::ModelRateProvider predicted_provider(alias, cluster.network());
-  const auto predicted =
-      sim::run_simulation(trace, cluster, out.placement, predicted_provider);
+  const auto predicted = sim::run_simulation(trace, cluster, out.placement,
+                                             predicted_provider, scenario);
 
   out.measured_makespan = measured.makespan;
   out.predicted_makespan = predicted.makespan;

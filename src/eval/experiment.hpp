@@ -48,10 +48,13 @@ struct ApplicationComparison {
 };
 
 /// Replay `trace` twice — fluid substrate ("measured") and `model`
-/// ("predicted") — under the given scheduling policy.
+/// ("predicted") — under the given scheduling policy. `scenario` applies
+/// the same dynamic-cluster script (churn, background traffic) to BOTH
+/// replays, so the comparison stays like-for-like; empty means the static
+/// cluster of the paper's figures.
 [[nodiscard]] ApplicationComparison compare_application(
     const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
     sim::SchedulingPolicy policy, const models::PenaltyModel& model,
-    uint64_t seed = 42);
+    uint64_t seed = 42, const sim::Scenario& scenario = {});
 
 }  // namespace bwshare::eval

@@ -88,6 +88,20 @@ void SweepSpec::validate() const {
   BWS_CHECK(!models.empty(), "sweep: models axis must not be empty");
   BWS_CHECK(!shapes.empty(), "sweep: shapes axis must not be empty");
   BWS_CHECK(!policies.empty(), "sweep: policies axis must not be empty");
+  BWS_CHECK(!churn_rates.empty(), "sweep: churn_rates axis must not be empty");
+  BWS_CHECK(!background_loads.empty(),
+            "sweep: background_loads axis must not be empty");
+  for (const double r : churn_rates) {
+    BWS_CHECK(r >= 0.0 && std::isfinite(r),
+              strformat("sweep: churn rate must be finite and >= 0, got %g",
+                        r));
+  }
+  for (const double r : background_loads) {
+    BWS_CHECK(r >= 0.0 && std::isfinite(r),
+              strformat("sweep: background load must be finite and >= 0, "
+                        "got %g",
+                        r));
+  }
   BWS_CHECK(!seeds.empty(), "sweep: seeds axis must not be empty");
   for (const auto& shape : shapes) {
     BWS_CHECK(shape.nodes >= 1 && shape.cores >= 1,
@@ -130,8 +144,11 @@ Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
 size_t Sweep::num_jobs() const {
   const size_t base = spec_.networks.size() * spec_.models.size() *
                       spec_.shapes.size() * spec_.seeds.size();
+  // churn_rates/background_loads cross trace cells only: a scheme cell is a
+  // static solve with no replay for a scenario to act on.
   return scheme_workloads_.size() * base +
-         trace_workloads_.size() * base * spec_.policies.size();
+         trace_workloads_.size() * base * spec_.policies.size() *
+             spec_.churn_rates.size() * spec_.background_loads.size();
 }
 
 namespace {
@@ -147,13 +164,15 @@ models::PenaltyModelPtr resolve_model(const std::string& name,
 SweepResult Sweep::run(int threads) const {
   // Expand the grid in its documented order: workloads (schemes first, then
   // traces, each in listed order) x networks x models x shapes
-  // [x policies, trace cells only] x seeds.
+  // [x policies x churn_rates x background_loads, trace cells only] x seeds.
   struct Job {
     const Workload* workload = nullptr;
     topo::NetworkTech tech{};
     const std::string* model = nullptr;
     SweepShape shape;
     sim::SchedulingPolicy policy{};
+    double churn = 0.0;
+    double background = 0.0;
     uint64_t seed = 0;
     bool is_trace = false;
   };
@@ -165,8 +184,8 @@ SweepResult Sweep::run(int threads) const {
         for (const auto& shape : spec_.shapes) {
           for (const auto seed : spec_.seeds) {
             jobs.push_back({&w, tech, &model, shape,
-                            sim::SchedulingPolicy::kRoundRobinNode, seed,
-                            false});
+                            sim::SchedulingPolicy::kRoundRobinNode, 0.0, 0.0,
+                            seed, false});
           }
         }
       }
@@ -177,8 +196,13 @@ SweepResult Sweep::run(int threads) const {
       for (const auto& model : spec_.models) {
         for (const auto& shape : spec_.shapes) {
           for (const auto policy : spec_.policies) {
-            for (const auto seed : spec_.seeds) {
-              jobs.push_back({&w, tech, &model, shape, policy, seed, true});
+            for (const double churn : spec_.churn_rates) {
+              for (const double background : spec_.background_loads) {
+                for (const auto seed : spec_.seeds) {
+                  jobs.push_back({&w, tech, &model, shape, policy, churn,
+                                  background, seed, true});
+                }
+              }
             }
           }
         }
@@ -196,6 +220,8 @@ SweepResult Sweep::run(int threads) const {
     cell.workload = job.workload->key;
     cell.network = short_tech_name(job.tech);
     cell.policy = job.is_trace ? sim::to_string(job.policy) : "-";
+    cell.churn_rate = job.churn;
+    cell.background_load = job.background;
     cell.seed = job.seed;
     try {
       const auto model = resolve_model(*job.model, job.tech);
@@ -223,8 +249,27 @@ SweepResult Sweep::run(int threads) const {
           topo::ClusterSpec::uniform("sweep", nodes, job.shape.cores,
                                      topo::calibration_for(job.tech));
       if (job.is_trace) {
-        const auto cmp = compare_application(*job.workload->trace, cluster,
-                                             job.policy, *model, job.seed);
+        // Dynamic-cluster scripts are drawn from the cell's seed alone (the
+        // generators salt churn vs background internally), so the cell is
+        // reproducible independent of execution order or thread count.
+        sim::Scenario scenario;
+        if (job.churn > 0.0) {
+          graph::ChurnSpec cs;
+          cs.rate = job.churn;
+          cs.horizon = 1.0;
+          cs.nodes = nodes;
+          scenario.churn = graph::generate_churn(cs, job.seed);
+        }
+        if (job.background > 0.0) {
+          graph::BackgroundSpec bs;
+          bs.rate = job.background;
+          bs.horizon = 1.0;
+          bs.nodes = nodes;
+          scenario.background = graph::generate_background(bs, job.seed);
+        }
+        const auto cmp =
+            compare_application(*job.workload->trace, cluster, job.policy,
+                                *model, job.seed, scenario);
         cell.units = job.workload->trace->num_tasks();
         cell.measured_s = cmp.measured_makespan;
         cell.predicted_s = cmp.predicted_makespan;
@@ -326,6 +371,25 @@ SweepResult Sweep::run(int threads) const {
     }
     add_marginals("policy", policy_names,
                   [](const SweepCell& c) { return c.policy; });
+    // The dynamic-cluster axes, like policy, only exist on trace cells;
+    // scheme cells (always churn 0 / load 0) would otherwise pollute the
+    // zero rows, so marginals filter on kind.
+    std::vector<std::string> churn_names;
+    for (const double r : spec_.churn_rates) {
+      churn_names.push_back(strformat("%g", r));
+    }
+    add_marginals("churn_rate", churn_names, [](const SweepCell& c) {
+      return c.kind == "trace" ? strformat("%g", c.churn_rate)
+                               : std::string("-");
+    });
+    std::vector<std::string> load_names;
+    for (const double r : spec_.background_loads) {
+      load_names.push_back(strformat("%g", r));
+    }
+    add_marginals("background_load", load_names, [](const SweepCell& c) {
+      return c.kind == "trace" ? strformat("%g", c.background_load)
+                               : std::string("-");
+    });
   }
   std::vector<std::string> seed_names;
   for (const auto seed : spec_.seeds) {
@@ -352,14 +416,17 @@ std::string format_fixed(double v, int precision) {
 }
 
 util::CsvWriter cells_table(const std::vector<SweepCell>& cells) {
+  // Schema v2: churn_rate/background_load joined the per-cell columns when
+  // the dynamic-cluster axes landed (docs/EXPERIMENTS.md).
   util::CsvWriter csv({"kind", "workload", "network", "model", "nodes",
-                       "cores", "policy", "seed", "units", "measured_s",
-                       "predicted_s", "eabs_pct", "max_abs_erel_pct",
-                       "status", "error"});
+                       "cores", "policy", "churn_rate", "background_load",
+                       "seed", "units", "measured_s", "predicted_s",
+                       "eabs_pct", "max_abs_erel_pct", "status", "error"});
   for (const auto& cell : cells) {
     csv.add_row({cell.kind, cell.workload, cell.network, cell.model,
                  strformat("%d", cell.nodes), strformat("%d", cell.cores),
-                 cell.policy,
+                 cell.policy, format_fixed(cell.churn_rate, 3),
+                 format_fixed(cell.background_load, 3),
                  strformat("%llu", static_cast<unsigned long long>(cell.seed)),
                  strformat("%d", cell.units),
                  format_fixed(cell.measured_s, 6),

@@ -60,8 +60,17 @@ struct SweepSpec {
   std::vector<SweepShape> shapes = {{16, 2}};
   std::vector<sim::SchedulingPolicy> policies = {
       sim::SchedulingPolicy::kRoundRobinNode};
-  /// Seed axis. A cell's seed drives scheme generation and random
-  /// placement; it is the only source of randomness in a sweep.
+  /// Membership-churn axis (trace cells only, like `policies`): Poisson
+  /// join/leave/fail events per second of simulated time over a 1 s
+  /// horizon, scripted per cell from the cell's seed
+  /// (graph::generate_churn). 0 = static cluster.
+  std::vector<double> churn_rates = {0.0};
+  /// Background cross-traffic axis (trace cells only): Poisson 1 MB flows
+  /// per second over a 1 s horizon (graph::generate_background). 0 = none.
+  std::vector<double> background_loads = {0.0};
+  /// Seed axis. A cell's seed drives scheme generation, random placement
+  /// and the churn/background scripts; it is the only source of randomness
+  /// in a sweep.
   std::vector<uint64_t> seeds = {42};
 
   /// Throws bwshare::Error if any axis is empty or no workload is given.
@@ -77,6 +86,8 @@ struct SweepCell {
   int nodes = 0;
   int cores = 0;
   std::string policy;    // "-" for scheme cells
+  double churn_rate = 0.0;       // 0 for scheme cells
+  double background_load = 0.0;  // 0 for scheme cells
   uint64_t seed = 0;
   int units = 0;         // communications (scheme) or tasks (trace)
   double measured_s = 0.0;   // sum of T_m (scheme) / measured makespan

@@ -164,4 +164,115 @@ CommGraph generate_scheme(const GeneratorSpec& spec, uint64_t seed) {
   return g;
 }
 
+std::string to_string(ChurnKind kind) {
+  switch (kind) {
+    case ChurnKind::kJoin: return "join";
+    case ChurnKind::kLeave: return "leave";
+    case ChurnKind::kFail: return "fail";
+  }
+  BWS_THROW("invalid ChurnKind");
+}
+
+void ChurnSpec::validate() const {
+  BWS_CHECK(rate >= 0.0 && std::isfinite(rate),
+            strformat("churn: rate must be finite and >= 0, got %g", rate));
+  BWS_CHECK(horizon > 0.0 && std::isfinite(horizon),
+            strformat("churn: horizon must be finite and > 0, got %g",
+                      horizon));
+  // The per-event up/down scan is O(nodes), so the cap tracks the largest
+  // bench cluster (bench/engine_scaling --nodes 65536) rather than the
+  // generator's comms cap.
+  BWS_CHECK(nodes >= 2 && nodes <= 65536,
+            strformat("churn: nodes must be in [2, 65536], got %d", nodes));
+  BWS_CHECK(p_fail >= 0.0 && p_fail <= 1.0,
+            strformat("churn: p_fail must be in [0, 1], got %g", p_fail));
+}
+
+std::vector<ChurnEvent> generate_churn(const ChurnSpec& spec, uint64_t seed) {
+  spec.validate();
+  std::vector<ChurnEvent> script;
+  if (spec.rate == 0.0) return script;
+  uint64_t salt = seed ^ 0xc2b2ae3d27d4eb4fULL;  // keep churn draws disjoint
+  Rng rng(splitmix64(salt));                     // from scheme/background
+  std::vector<bool> up(static_cast<size_t>(spec.nodes), true);
+  int num_up = spec.nodes;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(spec.rate);
+    if (t >= spec.horizon) break;
+    // Departures target an up node, joins a down node; the k-th candidate is
+    // found by a linear scan so the draw only depends on (spec, seed).
+    const bool departure = num_up == spec.nodes ||
+                           (num_up > 0 && rng.uniform() < 0.5);
+    const int pool = departure ? num_up : spec.nodes - num_up;
+    if (pool == 0) continue;  // every node down and the coin said departure
+    int pick = static_cast<int>(rng.below(static_cast<uint64_t>(pool)));
+    int node = -1;
+    for (int v = 0; v < spec.nodes; ++v) {
+      if (up[static_cast<size_t>(v)] == departure && pick-- == 0) {
+        node = v;
+        break;
+      }
+    }
+    ChurnEvent ev;
+    ev.time = t;
+    ev.node = node;
+    if (departure) {
+      ev.kind = rng.uniform() < spec.p_fail ? ChurnKind::kFail
+                                            : ChurnKind::kLeave;
+      up[static_cast<size_t>(node)] = false;
+      --num_up;
+    } else {
+      ev.kind = ChurnKind::kJoin;
+      up[static_cast<size_t>(node)] = true;
+      ++num_up;
+    }
+    script.push_back(ev);
+  }
+  return script;
+}
+
+void BackgroundSpec::validate() const {
+  BWS_CHECK(rate >= 0.0 && std::isfinite(rate),
+            strformat("background: rate must be finite and >= 0, got %g",
+                      rate));
+  BWS_CHECK(horizon > 0.0 && std::isfinite(horizon),
+            strformat("background: horizon must be finite and > 0, got %g",
+                      horizon));
+  BWS_CHECK(nodes >= 2 && nodes <= 65536,
+            strformat("background: nodes must be in [2, 65536], got %d",
+                      nodes));
+  BWS_CHECK(bytes > 0.0, strformat("background: bytes must be > 0, got %g",
+                                   bytes));
+  BWS_CHECK(spread >= 0.0 && spread <= 8.0,
+            strformat("background: spread must be in [0, 8], got %g",
+                      spread));
+}
+
+std::vector<BackgroundFlow> generate_background(const BackgroundSpec& spec,
+                                                uint64_t seed) {
+  spec.validate();
+  std::vector<BackgroundFlow> script;
+  if (spec.rate == 0.0) return script;
+  uint64_t salt = seed ^ 0x165667b19e3779f9ULL;  // disjoint from churn draws
+  Rng rng(splitmix64(salt));
+  const auto n = static_cast<uint64_t>(spec.nodes);
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(spec.rate);
+    if (t >= spec.horizon) break;
+    BackgroundFlow f;
+    f.time = t;
+    f.src = static_cast<int>(rng.below(n));
+    f.dst = static_cast<int>(rng.below(n - 1));
+    if (f.dst >= f.src) ++f.dst;  // uniform over the n-1 non-self targets
+    f.bytes = spec.bytes;
+    if (spec.spread > 0.0) {
+      f.bytes *= std::exp2(rng.uniform(-spec.spread, spec.spread));
+    }
+    script.push_back(f);
+  }
+  return script;
+}
+
 }  // namespace bwshare::graph

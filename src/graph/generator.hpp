@@ -14,10 +14,17 @@
 //
 // Specs parse from the sweep axis syntax "family:key=value,...", e.g.
 // "random:nodes=12,comms=18,bytes=4M,spread=1".
+//
+// This file is also the home of the *dynamic-cluster* scenario sources:
+// seeded Poisson scripts of membership churn (join / leave / fail) and of
+// background cross-traffic flows. They are plain data — the engine-side
+// semantics live in sim/scenario.hpp — so that graph/ stays below sim/ in
+// the layering.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "graph/comm_graph.hpp"
 
@@ -56,5 +63,85 @@ struct GeneratorSpec {
 /// always yield identical graphs, independent of platform or thread count.
 [[nodiscard]] CommGraph generate_scheme(const GeneratorSpec& spec,
                                         uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Membership churn scripts
+// ---------------------------------------------------------------------------
+
+enum class ChurnKind {
+  kJoin,   ///< a down node comes (back) up
+  kLeave,  ///< a node departs gracefully: in-flight transfers drain
+  kFail    ///< a node crashes: its in-flight transfers abort immediately
+};
+
+[[nodiscard]] std::string to_string(ChurnKind kind);
+
+/// One scripted membership event. `node` indexes the cluster the scenario is
+/// replayed on; `time` is absolute simulation time in seconds.
+struct ChurnEvent {
+  double time = 0.0;
+  ChurnKind kind = ChurnKind::kFail;
+  int node = 0;
+};
+
+struct ChurnSpec {
+  /// Poisson arrival rate of membership events, in events per second of
+  /// simulated time; >= 0 (0 yields an empty script).
+  double rate = 0.0;
+  /// Script horizon in seconds, > 0. Events past the horizon are not drawn.
+  double horizon = 1.0;
+  /// Cluster size the script targets; [2, 65536].
+  int nodes = 8;
+  /// Probability that a departure is a kFail (vs kLeave); [0, 1].
+  double p_fail = 0.5;
+
+  /// Throws bwshare::Error on any out-of-range parameter.
+  void validate() const;
+};
+
+/// Deterministically draw a membership script: Poisson arrivals at
+/// `spec.rate` over [0, spec.horizon). The generator tracks the up/down set
+/// (all nodes start up), so leaves/fails always target an up node and joins
+/// a down node — scripts are self-consistent by construction. With every
+/// node down, further departures are skipped until a join. Identical
+/// (spec, seed) pairs yield identical scripts.
+[[nodiscard]] std::vector<ChurnEvent> generate_churn(const ChurnSpec& spec,
+                                                     uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Background cross-traffic scripts
+// ---------------------------------------------------------------------------
+
+/// One injected flow that contends for links without belonging to the
+/// measured job: no task posts it and nothing blocks on it.
+struct BackgroundFlow {
+  double time = 0.0;  ///< injection time, seconds
+  int src = 0;        ///< source cluster node
+  int dst = 1;        ///< destination cluster node, != src
+  double bytes = 0.0;
+};
+
+struct BackgroundSpec {
+  /// Poisson injection rate in flows per second of simulated time; >= 0.
+  double rate = 0.0;
+  /// Script horizon in seconds, > 0.
+  double horizon = 1.0;
+  /// Cluster size the script targets; [2, 65536]. Endpoints are drawn
+  /// uniformly with src != dst.
+  int nodes = 8;
+  /// Base flow size in bytes, > 0.
+  double bytes = 1e6;
+  /// Size-mix exponent in [0, 8], same convention as GeneratorSpec::spread.
+  double spread = 0.0;
+
+  /// Throws bwshare::Error on any out-of-range parameter.
+  void validate() const;
+};
+
+/// Deterministically draw a cross-traffic script: Poisson arrivals at
+/// `spec.rate` over [0, spec.horizon), uniform endpoints, log-uniform sizes
+/// when spread > 0. Identical (spec, seed) pairs yield identical scripts.
+[[nodiscard]] std::vector<BackgroundFlow> generate_background(
+    const BackgroundSpec& spec, uint64_t seed);
 
 }  // namespace bwshare::graph

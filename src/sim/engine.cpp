@@ -17,10 +17,15 @@
 namespace bwshare::sim {
 
 double SimResult::average_penalty() const {
-  if (comms.empty()) return 1.0;
   double total = 0.0;
-  for (const auto& c : comms) total += c.penalty;
-  return total / static_cast<double>(comms.size());
+  size_t count = 0;
+  for (const auto& c : comms) {
+    if (c.background || c.aborted) continue;  // not the measured job's story
+    total += c.penalty;
+    ++count;
+  }
+  if (count == 0) return 1.0;
+  return total / static_cast<double>(count);
 }
 
 double SimResult::task_comm_time(TaskId t) const {
@@ -70,6 +75,7 @@ struct Transfer {
   bool rendezvous = false;
   bool src_tracked = false;      // sender posted via kIsend
   bool dst_nonblocking = false;  // receiver posted via kIrecv
+  bool background = false;       // task-less injected flow; src/dst unused
   bool alive = false;
   int component = -1;
   /// Entry in the finish-time queue (QueueMode::kHeap). Stable across
@@ -92,11 +98,25 @@ struct Component {
   bool dirty = false;
 };
 
+/// One scripted scenario event, merged from Scenario::churn and
+/// Scenario::background in declaration order. Replayed off a dedicated
+/// core::EventQueue keyed by (time, script index) — the same sequence under
+/// every RefreshMode / QueueMode / SolveMode.
+struct ScriptEvent {
+  enum class Kind { kJoin, kLeave, kFail, kFlow };
+  Kind kind = Kind::kFlow;
+  double time = 0.0;
+  int node = 0;        // membership events
+  int src = 0;         // kFlow
+  int dst = 0;         // kFlow
+  double bytes = 0.0;  // kFlow
+};
+
 class Engine {
  public:
   Engine(const AppTrace& trace, const topo::ClusterSpec& cluster,
          const Placement& placement, const flowsim::RateProvider& provider,
-         const EngineConfig& config)
+         const Scenario& scenario, const EngineConfig& config)
       : trace_(trace),
         cluster_(cluster),
         placement_(placement),
@@ -116,6 +136,42 @@ class Engine {
     pending_sends_.resize(static_cast<size_t>(n));
     pending_recvs_.resize(static_cast<size_t>(n));
     outstanding_requests_.assign(static_cast<size_t>(n), 0);
+
+    node_up_.assign(static_cast<size_t>(cluster_.num_nodes()), true);
+    for (const int v : scenario.down_at_start)
+      node_up_[static_cast<size_t>(v)] = false;
+    job_of_ = scenario.job_of;
+    if (job_of_.empty()) job_of_.assign(static_cast<size_t>(n), 0);
+    int num_jobs = 1;
+    for (const int j : job_of_) num_jobs = std::max(num_jobs, j + 1);
+    job_size_.assign(static_cast<size_t>(num_jobs), 0);
+    for (const int j : job_of_) ++job_size_[static_cast<size_t>(j)];
+    job_barrier_arrivals_.assign(static_cast<size_t>(num_jobs), 0);
+
+    // Merge the scenario scripts into one queue; churn events precede
+    // background flows at equal times (seq order below).
+    script_.reserve(scenario.churn.size() + scenario.background.size());
+    for (const auto& ev : scenario.churn) {
+      ScriptEvent se;
+      se.kind = ev.kind == graph::ChurnKind::kJoin ? ScriptEvent::Kind::kJoin
+                : ev.kind == graph::ChurnKind::kLeave
+                    ? ScriptEvent::Kind::kLeave
+                    : ScriptEvent::Kind::kFail;
+      se.time = ev.time;
+      se.node = ev.node;
+      script_.push_back(se);
+    }
+    for (const auto& f : scenario.background) {
+      ScriptEvent se;
+      se.kind = ScriptEvent::Kind::kFlow;
+      se.time = f.time;
+      se.src = f.src;
+      se.dst = f.dst;
+      se.bytes = f.bytes;
+      script_.push_back(se);
+    }
+    for (size_t i = 0; i < script_.size(); ++i)
+      script_q_.push(script_[i].time, static_cast<uint64_t>(i), i);
   }
 
   SimResult run() {
@@ -130,13 +186,20 @@ class Engine {
       // A predicted finish can sit in the past (a barrier cost overshot
       // it); the transfer then completes, late, at the current time.
       const double next_compute =
-          heap ? (compute_q_.empty() ? kInf : compute_q_.top_time())
+          heap ? (compute_q_.empty()
+                      ? kInf
+                      : std::max(compute_q_.top_time(), now()))
                : earliest_compute_end();
       const double next_transfer =
           heap ? (transfer_q_.empty()
                       ? kInf
                       : std::max(transfer_q_.top_time(), now()))
                : earliest_transfer_end();
+      // Scenario scripts ride their own queue in both QueueModes; like a
+      // predicted finish, a scripted time can sit in the past after a
+      // barrier cost overshot it.
+      const double next_script =
+          script_q_.empty() ? kInf : std::max(script_q_.top_time(), now());
       if (heap && cfg_.refresh == RefreshMode::kCrossCheck) {
         // Queue-order equivalence: the heap's next-event times must match
         // the legacy scans exactly, at every event.
@@ -150,11 +213,15 @@ class Engine {
                             "completion: heap %.17g vs scan %.17g at t=%.9g",
                             next_transfer, earliest_transfer_end(), now()));
       }
-      const double next = std::min(next_compute, next_transfer);
+      const double next = std::min({next_compute, next_transfer, next_script});
       BWS_CHECK(next < kInf, deadlock_message());
       BWS_CHECK(next <= cfg_.max_time, "simulation exceeded max_time");
       clock_.advance_to(next);
-      if (next_transfer <= next_compute) {
+      // Script events fire first at equal times: a failure at t aborts
+      // transfers before a same-t completion is chosen, in every mode.
+      if (next_script <= next) {
+        process_script_event();
+      } else if (next_transfer <= next_compute) {
         complete_one_transfer();
       } else {
         wake_computers();
@@ -312,12 +379,19 @@ class Engine {
   void arrive_barrier(TaskId t) {
     state_[static_cast<size_t>(t)] = TaskState::kBarrier;
     blocked_since_[static_cast<size_t>(t)] = now();
-    ++barrier_arrivals_;
-    if (barrier_arrivals_ < trace_.num_tasks()) return;
-    // Everyone arrived: release. In-flight transfers are untouched — their
-    // byte counts advance lazily when their component is next refreshed.
-    barrier_arrivals_ = 0;
+    // Barriers synchronize within a job: co-scheduled jobs never wait on
+    // each other's barriers (with a single job this is the global barrier).
+    const int job = job_of_[static_cast<size_t>(t)];
+    ++job_barrier_arrivals_[static_cast<size_t>(job)];
+    if (job_barrier_arrivals_[static_cast<size_t>(job)] <
+        job_size_[static_cast<size_t>(job)])
+      return;
+    // The whole job arrived: release it. In-flight transfers are untouched —
+    // their byte counts advance lazily when their component is next
+    // refreshed.
+    job_barrier_arrivals_[static_cast<size_t>(job)] = 0;
     for (TaskId u = 0; u < trace_.num_tasks(); ++u) {
+      if (job_of_[static_cast<size_t>(u)] != job) continue;
       if (state_[static_cast<size_t>(u)] != TaskState::kBarrier) continue;
       result_.tasks[static_cast<size_t>(u)].barrier_wait_seconds +=
           now() - blocked_since_[static_cast<size_t>(u)];
@@ -345,8 +419,7 @@ class Engine {
     tr.advance_time = now();
   }
 
-  void start_transfer(const PendingSend& ps, TaskId dst,
-                      bool dst_nonblocking) {
+  size_t alloc_slot() {
     size_t slot;
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
@@ -355,8 +428,14 @@ class Engine {
       transfers_.emplace_back();
       slot = transfers_.size() - 1;
     }
+    transfers_[slot] = Transfer{};
+    return slot;
+  }
+
+  void start_transfer(const PendingSend& ps, TaskId dst,
+                      bool dst_nonblocking) {
+    const size_t slot = alloc_slot();
     Transfer& tr = transfers_[slot];
-    tr = Transfer{};
     tr.record = ps.record;
     tr.src = ps.src;
     tr.dst = dst;
@@ -374,6 +453,141 @@ class Engine {
     if (cfg_.queue == QueueMode::kHeap)
       tr.qh = transfer_q_.push(kInf, static_cast<uint64_t>(tr.record), slot);
     result_.comms[ps.record].start = now();
+    ++num_active_;
+    attach_transfer(slot);
+    refresh_rates();
+  }
+
+  // --- scenario scripts ----------------------------------------------------
+
+  /// Pop and apply the next scripted event. One event per main-loop turn, so
+  /// every flush point between same-time script events is honoured exactly
+  /// the same way in all refresh modes.
+  void process_script_event() {
+    BWS_ASSERT(!script_q_.empty(), "no script event pending");
+    const size_t idx = script_q_.top();
+    script_q_.pop();
+    const ScriptEvent& ev = script_[idx];
+    switch (ev.kind) {
+      case ScriptEvent::Kind::kJoin:
+        node_up_[static_cast<size_t>(ev.node)] = true;
+        break;
+      case ScriptEvent::Kind::kLeave:
+        // Graceful departure: stop admitting background flows, but let the
+        // node's in-flight transfers drain.
+        node_up_[static_cast<size_t>(ev.node)] = false;
+        break;
+      case ScriptEvent::Kind::kFail:
+        node_up_[static_cast<size_t>(ev.node)] = false;
+        fail_node(ev.node);
+        break;
+      case ScriptEvent::Kind::kFlow:
+        inject_background(ev);
+        break;
+    }
+  }
+
+  /// Crash semantics: every in-flight transfer with an endpoint on the
+  /// failed node aborts at the event time, in posting (record) order so all
+  /// refresh/queue/solve modes observe the same cascade.
+  void fail_node(int node) {
+    aborting_.clear();
+    for (size_t s = 0; s < transfers_.size(); ++s) {
+      const Transfer& tr = transfers_[s];
+      if (tr.alive && (tr.src_node == static_cast<topo::NodeId>(node) ||
+                       tr.dst_node == static_cast<topo::NodeId>(node)))
+        aborting_.push_back(s);
+    }
+    std::sort(aborting_.begin(), aborting_.end(), [&](size_t a, size_t b) {
+      return transfers_[a].record < transfers_[b].record;
+    });
+    // abort_transfer can cascade into new transfers (an unblocked task may
+    // post its next send), but new slots are never aborted: the snapshot
+    // above fixes the victim set at the failure instant.
+    for (const size_t s : aborting_) abort_transfer(s);
+  }
+
+  /// Mirror of complete_one_transfer for a transfer cut short by a node
+  /// failure: keep the partial byte count in the record, unblock both
+  /// endpoints immediately (the failure is observed with no delivery
+  /// latency), and leave the dirtied components for the next flush.
+  void abort_transfer(size_t slot) {
+    advance(transfers_[slot]);
+    const Transfer tr = transfers_[slot];
+    detach_transfer(slot);
+
+    auto& rec = result_.comms[tr.record];
+    rec.aborted = true;
+    rec.finish = now();
+    const double ref = reference_duration(rec);
+    rec.penalty = ref > 0.0 ? (rec.finish - rec.start) / ref : 1.0;
+    ++result_.aborted_comms;
+
+    if (tr.background) {
+      refresh_rates();
+      return;
+    }
+    if (tr.rendezvous) {
+      auto& stats = result_.tasks[static_cast<size_t>(tr.src)];
+      rec.sender_time = now() - rec.send_post;
+      stats.send_blocked_seconds +=
+          now() - blocked_since_[static_cast<size_t>(tr.src)];
+      state_[static_cast<size_t>(tr.src)] = TaskState::kReady;
+    } else {
+      rec.sender_time = 0.0;
+    }
+    if (tr.src_tracked) retire_request(tr.src, /*latency=*/0.0);
+    if (tr.dst_nonblocking) {
+      retire_request(tr.dst, /*latency=*/0.0);
+    } else {
+      auto& stats = result_.tasks[static_cast<size_t>(tr.dst)];
+      stats.recv_blocked_seconds +=
+          now() - blocked_since_[static_cast<size_t>(tr.dst)];
+      state_[static_cast<size_t>(tr.dst)] = TaskState::kReady;
+    }
+
+    refresh_rates();
+    if (state_[static_cast<size_t>(tr.src)] == TaskState::kReady)
+      advance_task(tr.src);
+    if (state_[static_cast<size_t>(tr.dst)] == TaskState::kReady)
+      advance_task(tr.dst);
+  }
+
+  /// Admit one background flow: a task-less transfer that contends for
+  /// nodes/coupling keys like any other active-set member but blocks nobody.
+  /// Flows touching a down node are dropped (counted, not queued).
+  void inject_background(const ScriptEvent& ev) {
+    if (!node_up_[static_cast<size_t>(ev.src)] ||
+        !node_up_[static_cast<size_t>(ev.dst)]) {
+      ++result_.background_skipped;
+      return;
+    }
+    CommRecord rec;
+    rec.src_task = kAnySource;  // -1: no task on either side
+    rec.dst_task = kAnySource;
+    rec.src_node = static_cast<topo::NodeId>(ev.src);
+    rec.dst_node = static_cast<topo::NodeId>(ev.dst);
+    rec.bytes = ev.bytes;
+    rec.send_post = now();
+    rec.recv_post = now();
+    rec.start = now();
+    rec.background = true;
+    result_.comms.push_back(rec);
+    const size_t record = result_.comms.size() - 1;
+    ++result_.background_comms;
+
+    const size_t slot = alloc_slot();
+    Transfer& tr = transfers_[slot];
+    tr.record = record;
+    tr.background = true;
+    tr.src_node = rec.src_node;
+    tr.dst_node = rec.dst_node;
+    tr.remaining = std::max(ev.bytes, 1.0);
+    tr.advance_time = now();
+    tr.alive = true;
+    tr.keys = provider_.coupling_keys(tr.src_node, tr.dst_node);
+    if (cfg_.queue == QueueMode::kHeap)
+      tr.qh = transfer_q_.push(kInf, static_cast<uint64_t>(tr.record), slot);
     ++num_active_;
     attach_transfer(slot);
     refresh_rates();
@@ -702,8 +916,19 @@ class Engine {
     return active;
   }
 
-  /// Reference behaviour: advance everything and re-solve the whole active
-  /// set as one problem on every event.
+  /// Reference behaviour: re-solve the whole active set on every event,
+  /// trusting none of the incremental caching. Each alive component is
+  /// solved as its own restricted problem — the identical arithmetic
+  /// resolve_dirty() runs on a dirty component. Flows in different
+  /// components share no links or coupling keys, so the partition cannot
+  /// change the solution; and byte counts advance exactly where the
+  /// incremental path advances them (rebuild_dirty_components, i.e. only
+  /// when a component dissolves) so the drain integration steps at the
+  /// same instants. Together that makes kFull bit-identical to
+  /// kIncremental (the contract tests/sim/test_engine_churn.cpp asserts)
+  /// instead of merely 1e-9-close. cross_check() keeps the single
+  /// whole-set solve, so the 1e-9 oracle still compares genuinely
+  /// different arithmetic.
   void refresh_full() {
     rebuild_dirty_components();
     for (const int c : dirty_) {
@@ -712,18 +937,16 @@ class Engine {
     }
     dirty_.clear();
     if (num_active_ == 0) return;
-    for (auto& tr : transfers_)
-      if (tr.alive) advance(tr);
-    const auto slots = active_slots_by_record();
-    const auto rates = provider_.rates(full_active_graph(slots));
-    BWS_ASSERT(rates.size() == slots.size(), "rate size mismatch");
-    for (size_t k = 0; k < slots.size(); ++k) {
-      BWS_CHECK(rates[k] > 0.0, "provider returned a zero rate");
-      Transfer& tr = transfers_[slots[k]];
-      tr.rate = rates[k];
-      tr.finish_pred = tr.advance_time + tr.remaining / tr.rate;
-      if (cfg_.queue == QueueMode::kHeap)
-        transfer_q_.update(tr.qh, tr.finish_pred);
+    std::vector<double> rates;
+    for (size_t c = 0; c < components_.size(); ++c) {
+      auto& comp = components_[c];
+      if (!comp.alive || comp.members.empty()) continue;
+      std::sort(comp.members.begin(), comp.members.end(),
+                [&](size_t a, size_t b) {
+                  return transfers_[a].record < transfers_[b].record;
+                });
+      compute_component_rates(static_cast<int>(c), rates);
+      commit_component(static_cast<int>(c), rates);
     }
   }
 
@@ -773,7 +996,10 @@ class Engine {
     for (TaskId t = 0; t < trace_.num_tasks(); ++t)
       if (state_[static_cast<size_t>(t)] == TaskState::kComputing)
         best = std::min(best, ready_at_[static_cast<size_t>(t)]);
-    return best;
+    // A wake-up can sit in the past when another job's barrier cost overshot
+    // it (barriers are per-job but the cost advances the shared clock); the
+    // task then wakes, late, at the current time.
+    return std::max(best, now());
   }
 
   /// Legacy selection: linear argmin over every transfer slot. Drives
@@ -828,6 +1054,12 @@ class Engine {
     rec.finish = now() + latency;
     const double ref = reference_duration(rec);
     rec.penalty = ref > 0.0 ? (rec.finish - rec.start) / ref : 1.0;
+
+    // A background flow blocks nobody: record it and re-solve the remnant.
+    if (tr.background) {
+      refresh_rates();
+      return;
+    }
 
     // Unblock the sender (rendezvous) at drain time.
     if (tr.rendezvous) {
@@ -970,7 +1202,6 @@ class Engine {
 
   core::Clock clock_;  // the shared event-core time source
   uint64_t next_order_ = 0;
-  int barrier_arrivals_ = 0;
   int num_done_ = 0;
 
   std::vector<TaskState> state_;
@@ -980,6 +1211,17 @@ class Engine {
   std::vector<std::deque<PendingSend>> pending_sends_;  // keyed by dst
   std::vector<std::deque<PendingRecv>> pending_recvs_;  // keyed by dst
   std::vector<int> outstanding_requests_;
+
+  // Dynamic-cluster state (sim/scenario.hpp). node_up_ gates background-flow
+  // admission; job_of_/job_size_/job_barrier_arrivals_ scope barriers to
+  // their job; script_ replays off its own (time, script index) queue.
+  std::vector<bool> node_up_;
+  std::vector<int> job_of_;
+  std::vector<int> job_size_;
+  std::vector<int> job_barrier_arrivals_;
+  std::vector<ScriptEvent> script_;
+  core::EventQueue<size_t> script_q_;
+  std::vector<size_t> aborting_;  // fail_node victim snapshot
 
   // The event-core indices (QueueMode::kHeap): alive transfers keyed by
   // predicted finish time (tie: posting record), computing tasks keyed by
@@ -1010,8 +1252,19 @@ SimResult run_simulation(const AppTrace& trace,
                          const Placement& placement,
                          const flowsim::RateProvider& provider,
                          const EngineConfig& config) {
+  return run_simulation(trace, cluster, placement, provider, Scenario{},
+                        config);
+}
+
+SimResult run_simulation(const AppTrace& trace,
+                         const topo::ClusterSpec& cluster,
+                         const Placement& placement,
+                         const flowsim::RateProvider& provider,
+                         const Scenario& scenario,
+                         const EngineConfig& config) {
   BWS_CHECK(trace.num_tasks() >= 1, "trace needs at least one task");
-  Engine engine(trace, cluster, placement, provider, config);
+  scenario.validate(trace.num_tasks(), cluster.num_nodes());
+  Engine engine(trace, cluster, placement, provider, scenario, config);
   return engine.run();
 }
 

@@ -44,6 +44,7 @@
 
 #include "flowsim/fluid_network.hpp"
 #include "sim/events.hpp"
+#include "sim/scenario.hpp"
 #include "sim/schedule.hpp"
 #include "topo/cluster.hpp"
 
@@ -55,8 +56,10 @@ namespace bwshare::sim {
 
 /// Rate-refresh strategy (docs/PERFORMANCE.md).
 enum class RefreshMode {
-  /// Re-solve the entire active set on every event (the reference
-  /// behaviour; O(events x active-set solve)).
+  /// Re-solve every alive component on every event, trusting none of the
+  /// incremental caching (the reference behaviour; O(events x active-set
+  /// solve)). Bit-identical to kIncremental, not merely 1e-9-close
+  /// (docs/PERFORMANCE.md, tests/sim/test_engine_churn.cpp).
   kFull,
   /// Re-solve only the dirty conflict components an event touched;
   /// untouched components keep cached rates and advance bytes lazily.
@@ -128,8 +131,15 @@ struct CommRecord {
   double recv_post = 0.0;   // when the receiver posted the receive
   double start = 0.0;       // when the transfer began draining
   double finish = 0.0;      // when the receiver unblocked
-  /// Observed penalty: duration / unconflicted reference duration.
+  /// Observed penalty: duration / unconflicted reference duration. For an
+  /// aborted record it covers the partial drain only.
   double penalty = 1.0;
+  /// An injected background flow (Scenario::background): src_task/dst_task
+  /// are -1, no task ever blocked on it.
+  bool background = false;
+  /// Cut short by a node failure (ChurnKind::kFail): `finish` is the abort
+  /// time and the bytes only partially moved.
+  bool aborted = false;
 
   [[nodiscard]] double duration() const { return finish - start; }
   /// Time the *sender* was blocked in MPI_Send (the paper's measured T_i).
@@ -150,7 +160,15 @@ struct SimResult {
   double makespan = 0.0;
   std::vector<TaskStats> tasks;
   std::vector<CommRecord> comms;
+  /// Transfers cut short by a ChurnKind::kFail (measured job + background).
+  size_t aborted_comms = 0;
+  /// Background flows admitted into the active set.
+  size_t background_comms = 0;
+  /// Background flows dropped because an endpoint node was down.
+  size_t background_skipped = 0;
 
+  /// Mean observed penalty over the measured job's completed records;
+  /// background and aborted records are excluded.
   [[nodiscard]] double average_penalty() const;
   /// Sum of sender-side communication times for one task (the quantity the
   /// paper aggregates per task for the HPL evaluation, §VI-B).
@@ -163,6 +181,16 @@ struct SimResult {
                                        const topo::ClusterSpec& cluster,
                                        const Placement& placement,
                                        const flowsim::RateProvider& provider,
+                                       const EngineConfig& config = {});
+
+/// Same replay under a dynamic-cluster `scenario` (sim/scenario.hpp):
+/// membership churn, background cross-traffic, multi-job barriers. An empty
+/// scenario is bit-identical to the overload above.
+[[nodiscard]] SimResult run_simulation(const AppTrace& trace,
+                                       const topo::ClusterSpec& cluster,
+                                       const Placement& placement,
+                                       const flowsim::RateProvider& provider,
+                                       const Scenario& scenario,
                                        const EngineConfig& config = {});
 
 }  // namespace bwshare::sim

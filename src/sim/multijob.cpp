@@ -1,0 +1,106 @@
+#include "sim/multijob.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::sim {
+
+namespace {
+
+/// Shift one job's program onto the global task-id range. kAnySource stays
+/// kAnySource: the receive still only matches sends addressed to this task,
+/// and no other job ever addresses it.
+Event offset_event(Event e, TaskId offset) {
+  switch (e.kind) {
+    case EventKind::kSend:
+    case EventKind::kIsend:
+    case EventKind::kRecv:
+    case EventKind::kIrecv:
+      if (e.peer != kAnySource) e.peer += offset;
+      break;
+    case EventKind::kCompute:
+    case EventKind::kWaitAll:
+    case EventKind::kBarrier:
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
+MultiJobResult run_multi_job(const std::vector<JobSpec>& jobs,
+                             const topo::ClusterSpec& cluster,
+                             const flowsim::RateProvider& provider,
+                             const Scenario& scenario,
+                             const EngineConfig& config) {
+  BWS_CHECK(!jobs.empty(), "multi-job: need at least one job");
+  BWS_CHECK(scenario.job_of.empty(),
+            "multi-job: the scenario's job_of is derived from the job list; "
+            "leave it empty");
+
+  int total_tasks = 0;
+  for (const auto& job : jobs) {
+    BWS_CHECK(job.trace.num_tasks() >= 1,
+              "multi-job: job '" + job.name + "' has no tasks");
+    // Each job must be a well-formed application on its own; the merged
+    // trace is deliberately NOT validated globally (jobs have independent
+    // barrier counts).
+    job.trace.validate();
+    BWS_CHECK(job.placement.num_tasks() == job.trace.num_tasks(),
+              "multi-job: job '" + job.name +
+                  "' placement does not cover its tasks");
+    total_tasks += job.trace.num_tasks();
+  }
+
+  AppTrace merged(total_tasks);
+  std::vector<topo::NodeId> merged_nodes;
+  merged_nodes.reserve(static_cast<size_t>(total_tasks));
+  std::vector<int> job_of;
+  job_of.reserve(static_cast<size_t>(total_tasks));
+  TaskId offset = 0;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const auto& job = jobs[j];
+    for (TaskId t = 0; t < job.trace.num_tasks(); ++t) {
+      for (const Event& e : job.trace.program(t))
+        merged.push(offset + t, offset_event(e, offset));
+      merged_nodes.push_back(job.placement.node_of(t));
+      job_of.push_back(static_cast<int>(j));
+    }
+    offset += job.trace.num_tasks();
+  }
+
+  Scenario shared = scenario;
+  shared.job_of = job_of;
+
+  MultiJobResult out;
+  out.job_of = job_of;
+  out.combined = run_simulation(merged, cluster, Placement(merged_nodes),
+                                provider, shared, config);
+
+  offset = 0;
+  for (const auto& job : jobs) {
+    JobOutcome jo;
+    jo.name = job.name;
+    jo.num_tasks = job.trace.num_tasks();
+    // Alone baseline: same cluster, same churn/background scripts — the
+    // delta to the shared replay is purely the co-scheduled jobs.
+    const SimResult alone = run_simulation(job.trace, cluster, job.placement,
+                                           provider, scenario, config);
+    jo.makespan_alone = alone.makespan;
+    for (TaskId t = 0; t < job.trace.num_tasks(); ++t)
+      jo.makespan_shared = std::max(
+          jo.makespan_shared,
+          out.combined.tasks[static_cast<size_t>(offset + t)].finish_time);
+    jo.interference_pct =
+        jo.makespan_alone > 0.0
+            ? (jo.makespan_shared / jo.makespan_alone - 1.0) * 100.0
+            : 0.0;
+    out.jobs.push_back(std::move(jo));
+    offset += job.trace.num_tasks();
+  }
+  return out;
+}
+
+}  // namespace bwshare::sim

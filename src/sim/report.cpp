@@ -42,7 +42,23 @@ std::string render_summary(const SimResult& result) {
   os << "makespan " << human_seconds(result.makespan) << ", "
      << result.comms.size() << " communications moving " << human_bytes(bytes)
      << ", average penalty " << strformat("%.3f", result.average_penalty());
+  if (result.aborted_comms > 0)
+    os << ", " << result.aborted_comms << " aborted by failures";
+  if (result.background_comms > 0 || result.background_skipped > 0)
+    os << ", " << result.background_comms << " background flows ("
+       << result.background_skipped << " skipped)";
   return os.str();
+}
+
+std::string render_multi_job_table(const MultiJobResult& result) {
+  TextTable t({"job", "tasks", "alone", "shared", "interference"});
+  for (const auto& j : result.jobs) {
+    t.add_row({j.name, strformat("%d", j.num_tasks),
+               human_seconds(j.makespan_alone),
+               human_seconds(j.makespan_shared),
+               strformat("%+.1f%%", j.interference_pct)});
+  }
+  return t.render();
 }
 
 }  // namespace bwshare::sim

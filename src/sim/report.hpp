@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sim/engine.hpp"
+#include "sim/multijob.hpp"
 
 namespace bwshare::sim {
 
@@ -17,7 +18,11 @@ namespace bwshare::sim {
 [[nodiscard]] std::string render_comm_table(const SimResult& result,
                                             size_t max_rows = 0);
 
-/// One-paragraph summary (makespan, average penalty, bytes moved).
+/// One-paragraph summary (makespan, average penalty, bytes moved; aborted /
+/// background counts appear only when the scenario produced any).
 [[nodiscard]] std::string render_summary(const SimResult& result);
+
+/// Per-job co-scheduling table: tasks, alone/shared makespan, interference.
+[[nodiscard]] std::string render_multi_job_table(const MultiJobResult& result);
 
 }  // namespace bwshare::sim

@@ -1,6 +1,7 @@
 #include "stats/bootstrap.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "stats/descriptive.hpp"
@@ -12,7 +13,10 @@ Interval bootstrap_ci(
     std::span<const double> xs,
     const std::function<double(std::span<const double>)>& statistic,
     size_t resamples, double level, uint64_t seed) {
-  BWS_CHECK(!xs.empty(), "bootstrap over empty series");
+  // Documented contract (bootstrap.hpp): an empty series is a catchable
+  // std::invalid_argument, not a bwshare::Error. The message is pinned by
+  // tests/stats/test_bootstrap.cpp.
+  if (xs.empty()) throw std::invalid_argument("bootstrap_ci: empty series");
   BWS_CHECK(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
   Rng rng(seed);
   std::vector<double> resample(xs.size());

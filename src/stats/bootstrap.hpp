@@ -18,6 +18,12 @@ struct Interval {
 
 /// Percentile bootstrap CI for `statistic` over `xs`.
 /// `level` is the two-sided confidence level, e.g. 0.95.
+///
+/// An empty `xs` throws std::invalid_argument with the message
+/// "bootstrap_ci: empty series" — a catchable precondition failure, distinct
+/// from bwshare::Error, so callers aggregating optional series (e.g.
+/// interference summaries with no completed communications) can branch on
+/// the type. Out-of-range `level` still throws bwshare::Error.
 [[nodiscard]] Interval bootstrap_ci(
     std::span<const double> xs,
     const std::function<double(std::span<const double>)>& statistic,

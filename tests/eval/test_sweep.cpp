@@ -209,6 +209,64 @@ TEST(Sweep, TraceCellsCrossPolicies) {
   EXPECT_TRUE(found_policy_marginal);
 }
 
+TEST(Sweep, ChurnAxesCrossTraceCellsOnly) {
+  SweepSpec spec;
+  spec.schemes = {"mk1"};
+  spec.traces = {write_temp_trace("sweep_churn_axes.trace")};
+  spec.shapes = {{4, 2}};
+  spec.churn_rates = {0.0, 30.0};
+  spec.background_loads = {0.0, 200.0};
+  spec.seeds = {1};
+  const Sweep sweep(std::move(spec));
+  // Scheme cells are static solves — the dynamic axes only multiply the
+  // trace cells: 1 scheme + 1 trace * 2 churn * 2 background.
+  EXPECT_EQ(sweep.num_jobs(), 5u);
+  const auto result = sweep.run(2);
+  ASSERT_EQ(result.cells.size(), 5u);
+  size_t dynamic_cells = 0;
+  for (const auto& cell : result.cells) {
+    EXPECT_TRUE(cell.ok) << cell.error;
+    if (cell.kind == "scheme") {
+      EXPECT_DOUBLE_EQ(cell.churn_rate, 0.0);
+      EXPECT_DOUBLE_EQ(cell.background_load, 0.0);
+    }
+    if (cell.churn_rate > 0.0 || cell.background_load > 0.0) {
+      ++dynamic_cells;
+      EXPECT_EQ(cell.kind, "trace");
+      EXPECT_GT(cell.measured_s, 0.0);
+    }
+  }
+  EXPECT_EQ(dynamic_cells, 3u);
+  // Marginals summarize the new axes (trace workloads present).
+  bool churn_marginal = false, background_marginal = false;
+  for (const auto& m : result.marginals) {
+    churn_marginal |= m.axis == "churn_rate";
+    background_marginal |= m.axis == "background_load";
+  }
+  EXPECT_TRUE(churn_marginal);
+  EXPECT_TRUE(background_marginal);
+}
+
+TEST(Sweep, ChurnedCellsAreByteIdenticalAcrossThreadCounts) {
+  SweepSpec spec;
+  spec.traces = {write_temp_trace("sweep_churn_determinism.trace")};
+  spec.shapes = {{4, 2}};
+  spec.policies = {sim::SchedulingPolicy::kRandom};
+  spec.churn_rates = {0.0, 40.0};
+  spec.background_loads = {0.0, 400.0};
+  spec.seeds = {1, 2};
+  const Sweep sweep(std::move(spec));
+  const auto baseline = sweep.run(1);
+  EXPECT_EQ(baseline.num_errors, 0u);
+  const std::string csv = baseline.to_csv();
+  const std::string json = baseline.to_json();
+  for (const int threads : {4, 11}) {
+    const auto result = sweep.run(threads);
+    EXPECT_EQ(result.to_csv(), csv) << "threads=" << threads;
+    EXPECT_EQ(result.to_json(), json) << "threads=" << threads;
+  }
+}
+
 TEST(SweepResult, CsvHasHeaderAndOneLinePerCell) {
   SweepSpec spec;
   spec.schemes = {"fig2_s2"};
@@ -216,7 +274,9 @@ TEST(SweepResult, CsvHasHeaderAndOneLinePerCell) {
   const Sweep sweep(std::move(spec));
   const auto result = sweep.run(1);
   const std::string csv = result.to_csv();
-  EXPECT_EQ(csv.rfind("kind,workload,network,model,nodes,cores,policy,seed,"
+  // Schema v2: churn_rate and background_load sit between policy and seed.
+  EXPECT_EQ(csv.rfind("kind,workload,network,model,nodes,cores,policy,"
+                      "churn_rate,background_load,seed,"
                       "units,measured_s,predicted_s,eabs_pct,"
                       "max_abs_erel_pct,status,error\n",
                       0),

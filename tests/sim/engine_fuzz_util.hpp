@@ -1,31 +1,43 @@
 // Shared fuzz machinery for the engine equivalence suites
 // (test_engine_queue.cpp: heap vs scan; test_engine_parallel.cpp: parallel
-// vs serial solve). Both compare whole replays bit-for-bit, and both want
-// the same churning workload: staggered hotspot fan-ins force mid-flight
-// re-predictions in both directions (joins shrink rates, completions grow
-// them), mixed with eager and rendezvous sizes, zero-length computes and
-// barriers.
+// vs serial solve; test_engine_churn.cpp: dynamic-cluster scenarios). All
+// compare whole replays bit-for-bit, and all want the same churning
+// workload: staggered hotspot fan-ins force mid-flight re-predictions in
+// both directions (joins shrink rates, completions grow them), mixed with
+// eager and rendezvous sizes, zero-length computes and barriers.
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "graph/generator.hpp"
 #include "sim/engine.hpp"
 #include "sim/events.hpp"
+#include "sim/schedule.hpp"
+#include "topo/cluster.hpp"
 #include "util/rng.hpp"
 
 namespace bwshare::sim {
 
 /// Exact equality — the compared configurations run the same arithmetic in
-/// the same order, so every derived number must match to the last bit.
+/// the same order, so every derived number must match to the last bit. Also
+/// covers the dynamic-cluster bookkeeping: abort/background flags per record
+/// and the scenario counters.
 inline void expect_bit_identical(const SimResult& a, const SimResult& b) {
   ASSERT_EQ(a.comms.size(), b.comms.size());
   EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.aborted_comms, b.aborted_comms);
+  EXPECT_EQ(a.background_comms, b.background_comms);
+  EXPECT_EQ(a.background_skipped, b.background_skipped);
   for (size_t i = 0; i < a.comms.size(); ++i) {
     EXPECT_EQ(a.comms[i].start, b.comms[i].start) << "comm " << i;
     EXPECT_EQ(a.comms[i].finish, b.comms[i].finish) << "comm " << i;
     EXPECT_EQ(a.comms[i].penalty, b.comms[i].penalty) << "comm " << i;
+    EXPECT_EQ(a.comms[i].aborted, b.comms[i].aborted) << "comm " << i;
+    EXPECT_EQ(a.comms[i].background, b.comms[i].background) << "comm " << i;
   }
   ASSERT_EQ(a.tasks.size(), b.tasks.size());
   for (size_t t = 0; t < a.tasks.size(); ++t) {
@@ -84,6 +96,55 @@ inline AppTrace churn_trace(uint64_t seed, int tasks) {
     trace.push_barrier_all();
   }
   return trace;
+}
+
+/// One maximally concurrent phase: every communication of the scheme is
+/// posted non-blocking, then everyone waits. All transfers start at t=0 in
+/// one event cascade, so the first flush carries the scheme's full
+/// component structure — the widest parallel batch a scheme can produce.
+inline AppTrace trace_from_scheme(const graph::CommGraph& scheme) {
+  AppTrace trace(scheme.num_nodes());
+  for (graph::CommId i = 0; i < scheme.size(); ++i) {
+    const auto& c = scheme.comm(i);
+    trace.push(c.dst, Event::irecv(c.src, c.bytes));
+  }
+  for (graph::CommId i = 0; i < scheme.size(); ++i) {
+    const auto& c = scheme.comm(i);
+    trace.push(c.src, Event::isend(c.dst, c.bytes));
+  }
+  for (TaskId t = 0; t < trace.num_tasks(); ++t)
+    trace.push(t, Event::wait_all());
+  return trace;
+}
+
+inline Placement identity_placement(int n) {
+  std::vector<topo::NodeId> nodes(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) nodes[static_cast<size_t>(i)] = i;
+  return Placement(std::move(nodes));
+}
+
+/// A seeded dynamic-cluster script: Poisson join/leave/fail churn plus
+/// background cross-traffic over `horizon` seconds on `nodes` nodes. The
+/// rates are tuned so a handful of each kind lands inside a typical
+/// churn_trace makespan — enough to hit the abort and admission-gating
+/// paths without drowning the measured job.
+inline Scenario churn_scenario(uint64_t seed, int nodes,
+                               double horizon = 0.5) {
+  graph::ChurnSpec churn;
+  churn.rate = 24.0;
+  churn.horizon = horizon;
+  churn.nodes = nodes;
+  churn.p_fail = 0.6;
+  graph::BackgroundSpec background;
+  background.rate = 40.0;
+  background.horizon = horizon;
+  background.nodes = nodes;
+  background.bytes = 8e5;
+  background.spread = 2.0;
+  Scenario scenario;
+  scenario.churn = graph::generate_churn(churn, seed);
+  scenario.background = graph::generate_background(background, seed);
+  return scenario;
 }
 
 }  // namespace bwshare::sim

@@ -119,30 +119,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ParallelChurnFuzz, ::testing::Range(0, 8));
 
 // --- generator families x providers ----------------------------------------
 
-/// One maximally concurrent phase: every communication of the scheme is
-/// posted non-blocking, then everyone waits. All transfers start at t=0 in
-/// one event cascade, so the first flush carries the scheme's full
-/// component structure — the widest parallel batch a scheme can produce.
-AppTrace trace_from_scheme(const graph::CommGraph& scheme) {
-  AppTrace trace(scheme.num_nodes());
-  for (graph::CommId i = 0; i < scheme.size(); ++i) {
-    const auto& c = scheme.comm(i);
-    trace.push(c.dst, Event::irecv(c.src, c.bytes));
-  }
-  for (graph::CommId i = 0; i < scheme.size(); ++i) {
-    const auto& c = scheme.comm(i);
-    trace.push(c.src, Event::isend(c.dst, c.bytes));
-  }
-  for (TaskId t = 0; t < trace.num_tasks(); ++t)
-    trace.push(t, Event::wait_all());
-  return trace;
-}
-
-Placement identity_placement(int n) {
-  std::vector<topo::NodeId> nodes(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) nodes[static_cast<size_t>(i)] = i;
-  return Placement(std::move(nodes));
-}
+// trace_from_scheme / identity_placement live in engine_fuzz_util.hpp,
+// shared with the churn-scenario suite.
 
 void check_scheme_parallel(const graph::CommGraph& scheme,
                            const flowsim::RateProvider& provider,

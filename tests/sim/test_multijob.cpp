@@ -1,0 +1,166 @@
+// Multi-job co-scheduling (sim/multijob.hpp): N independently traced jobs
+// merged onto one cluster with job-scoped barriers, plus per-job
+// interference accounting against an identical-scenario alone replay.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine_fuzz_util.hpp"
+#include "flowsim/fluid_network.hpp"
+#include "sim/engine.hpp"
+#include "sim/multijob.hpp"
+#include "sim/report.hpp"
+#include "sim/schedule.hpp"
+#include "topo/cluster.hpp"
+#include "util/error.hpp"
+
+namespace bwshare::sim {
+namespace {
+
+AppTrace pair_exchange(double bytes) {
+  AppTrace trace(2);
+  trace.push(1, Event::irecv(0, bytes));
+  trace.push(0, Event::isend(1, bytes));
+  trace.push(0, Event::wait_all());
+  trace.push(1, Event::wait_all());
+  return trace;
+}
+
+Placement place_on(std::vector<topo::NodeId> nodes) {
+  return Placement(std::move(nodes));
+}
+
+TEST(MultiJob, DisjointJobsDoNotInterfere) {
+  const auto cluster = topo::ClusterSpec::uniform(
+      "mj-disjoint", 4, 1, topo::gigabit_ethernet_calibration());
+  const flowsim::FluidRateProvider provider(cluster.network());
+  std::vector<JobSpec> jobs;
+  jobs.push_back({"left", pair_exchange(2e7), place_on({0, 1})});
+  jobs.push_back({"right", pair_exchange(2e7), place_on({2, 3})});
+  const auto result = run_multi_job(jobs, cluster, provider);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  ASSERT_EQ(result.job_of.size(), 4u);
+  EXPECT_EQ(result.job_of, (std::vector<int>{0, 0, 1, 1}));
+  for (const auto& job : result.jobs) {
+    // Node-disjoint jobs live in disjoint conflict components, so sharing
+    // the cluster costs them nothing — to the last bit.
+    EXPECT_DOUBLE_EQ(job.makespan_shared, job.makespan_alone) << job.name;
+    EXPECT_DOUBLE_EQ(job.interference_pct, 0.0) << job.name;
+    EXPECT_EQ(job.num_tasks, 2);
+  }
+}
+
+TEST(MultiJob, OverlappingJobsPayForTheSharedLinks) {
+  const auto cluster = topo::ClusterSpec::uniform(
+      "mj-overlap", 2, 2, topo::gigabit_ethernet_calibration());
+  const flowsim::FluidRateProvider provider(cluster.network());
+  std::vector<JobSpec> jobs;
+  jobs.push_back({"a", pair_exchange(2e7), place_on({0, 1})});
+  jobs.push_back({"b", pair_exchange(2e7), place_on({0, 1})});
+  const auto result = run_multi_job(jobs, cluster, provider);
+  for (const auto& job : result.jobs) {
+    EXPECT_GT(job.makespan_shared, job.makespan_alone) << job.name;
+    EXPECT_GT(job.interference_pct, 0.0) << job.name;
+  }
+  EXPECT_GE(result.combined.comms.size(), 2u);
+}
+
+TEST(MultiJob, BarriersStayJobScoped) {
+  // Job "slow" holds its own barrier for 0.2 s of compute; job "quick" has
+  // a single task that must finish long before — a shared global barrier
+  // would drag it to 0.2 s.
+  const auto cluster = topo::ClusterSpec::uniform(
+      "mj-barrier", 3, 1, topo::gigabit_ethernet_calibration());
+  const flowsim::FluidRateProvider provider(cluster.network());
+  AppTrace slow(2);
+  slow.push(0, Event::compute(0.2));
+  slow.push_barrier_all();
+  AppTrace quick(1);
+  quick.push(0, Event::compute(0.01));
+  std::vector<JobSpec> jobs;
+  jobs.push_back({"slow", std::move(slow), place_on({0, 1})});
+  jobs.push_back({"quick", std::move(quick), place_on({2})});
+  const auto result = run_multi_job(jobs, cluster, provider);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_GE(result.jobs[0].makespan_shared, 0.2);
+  EXPECT_LT(result.jobs[1].makespan_shared, 0.05);
+  EXPECT_DOUBLE_EQ(result.jobs[1].interference_pct, 0.0);
+}
+
+TEST(MultiJob, CombinedReplayMatchesAManualMerge) {
+  // The runner's merge (task-id offsets + Scenario::job_of) must equal the
+  // same replay assembled by hand — bit for bit.
+  const auto cluster = topo::ClusterSpec::uniform(
+      "mj-merge", 2, 2, topo::gigabit_ethernet_calibration());
+  const flowsim::FluidRateProvider provider(cluster.network());
+  std::vector<JobSpec> jobs;
+  jobs.push_back({"a", pair_exchange(2e7), place_on({0, 1})});
+  jobs.push_back({"b", pair_exchange(3e7), place_on({1, 0})});
+  const auto result = run_multi_job(jobs, cluster, provider);
+
+  AppTrace merged(4);
+  merged.push(1, Event::irecv(0, 2e7));
+  merged.push(0, Event::isend(1, 2e7));
+  merged.push(0, Event::wait_all());
+  merged.push(1, Event::wait_all());
+  merged.push(3, Event::irecv(2, 3e7));
+  merged.push(2, Event::isend(3, 3e7));
+  merged.push(2, Event::wait_all());
+  merged.push(3, Event::wait_all());
+  Scenario scenario;
+  scenario.job_of = {0, 0, 1, 1};
+  const auto manual = run_simulation(merged, cluster, place_on({0, 1, 1, 0}),
+                                     provider, scenario);
+  expect_bit_identical(result.combined, manual);
+}
+
+TEST(MultiJob, ScenarioAppliesToSharedAndAloneRuns) {
+  // A failure mid-replay aborts in both the shared and the alone runs, so
+  // interference still isolates the co-scheduling effect.
+  const auto cluster = topo::ClusterSpec::uniform(
+      "mj-churn", 2, 2, topo::gigabit_ethernet_calibration());
+  const flowsim::FluidRateProvider provider(cluster.network());
+  std::vector<JobSpec> jobs;
+  jobs.push_back({"a", pair_exchange(4e7), place_on({0, 1})});
+  jobs.push_back({"b", pair_exchange(4e7), place_on({0, 1})});
+  Scenario scenario;
+  scenario.churn.push_back({0.01, graph::ChurnKind::kFail, 1});
+  const auto result =
+      run_multi_job(jobs, cluster, provider, scenario);
+  EXPECT_EQ(result.combined.aborted_comms, 2u);
+  for (const auto& job : result.jobs) {
+    EXPECT_GT(job.makespan_alone, 0.0) << job.name;
+    EXPECT_GT(job.makespan_shared, 0.0) << job.name;
+  }
+}
+
+TEST(MultiJob, Validation) {
+  const auto cluster = topo::ClusterSpec::uniform(
+      "mj-bad", 2, 1, topo::gigabit_ethernet_calibration());
+  const flowsim::FluidRateProvider provider(cluster.network());
+  EXPECT_THROW((void)run_multi_job({}, cluster, provider), Error);
+  std::vector<JobSpec> jobs;
+  jobs.push_back({"a", pair_exchange(1e6), place_on({0, 1})});
+  Scenario preset;
+  preset.job_of = {0, 0};
+  EXPECT_THROW((void)run_multi_job(jobs, cluster, provider, preset), Error);
+}
+
+TEST(MultiJob, TableRendersNamesAndInterference) {
+  const auto cluster = topo::ClusterSpec::uniform(
+      "mj-table", 2, 2, topo::gigabit_ethernet_calibration());
+  const flowsim::FluidRateProvider provider(cluster.network());
+  std::vector<JobSpec> jobs;
+  jobs.push_back({"alpha", pair_exchange(2e7), place_on({0, 1})});
+  jobs.push_back({"beta", pair_exchange(2e7), place_on({0, 1})});
+  const auto result = run_multi_job(jobs, cluster, provider);
+  const std::string table = render_multi_job_table(result);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("interference"), std::string::npos);
+  EXPECT_NE(table.find("%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bwshare::sim

