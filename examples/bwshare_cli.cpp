@@ -19,6 +19,12 @@
 //       Co-schedule several traced jobs on ONE shared cluster
 //       (sim::run_multi_job) and report per-job interference.
 //
+//   bwshare_cli campaign [--rule best-arm] [--objective measured] ...
+//       Adaptive Monte-Carlo campaign (eval::Campaign): the sweep axes
+//       become candidate arms, replicates are drawn per arm until the
+//       stopping rule fires — best arm separated, CIs tight, or hopeless
+//       arms cut — instead of running the whole grid to completion.
+//
 // The trace and multijob subcommands accept a dynamic-cluster scenario
 // (--churn/--background, sim/scenario.hpp): seeded Poisson membership
 // events and cross-traffic contending with the replay.
@@ -31,8 +37,10 @@
 #include <string>
 #include <vector>
 
+#include "eval/campaign.hpp"
 #include "eval/experiment.hpp"
 #include "eval/sweep.hpp"
+#include "stats/sequential.hpp"
 #include "util/csv.hpp"
 #include "flowsim/fluid_network.hpp"
 #include "graph/generator.hpp"
@@ -113,7 +121,33 @@ int usage(const std::string& prog) {
       << "    --seeds s1,s2,...          (default 1,2,3)\n"
       << "    --threads N                worker threads (default: hardware)\n"
       << "    --csv PATH --json PATH     write per-cell results\n"
-      << "    --marginals                print per-axis-value summaries\n";
+      << "    --marginals                print per-axis-value summaries\n"
+      << "\n"
+      << "  campaign               adaptive Monte-Carlo campaign with early\n"
+      << "                         stopping (docs/EXPERIMENTS.md Campaigns)\n"
+      << "    --schemes/--traces/--networks/--models/--shapes/--schedules/\n"
+      << "    --churn-rates/--background-loads\n"
+      << "                               arm axes, exactly as for sweep\n"
+      << "                               (no --seeds: replicate seeds come\n"
+      << "                               from the campaign's own stream)\n"
+      << "    --objective measured|predicted|eabs\n"
+      << "                               what arms compete on, lower wins\n"
+      << "                               (default measured)\n"
+      << "    --rule ci-width|best-arm|cutoff\n"
+      << "                               stopping rule (default best-arm)\n"
+      << "    --tolerance T              ci-width relative half-width target\n"
+      << "                               (default 0.05)\n"
+      << "    --confidence C             per-arm bootstrap CI level\n"
+      << "                               (default 0.95)\n"
+      << "    --min-replicates N         warm-up before any verdict\n"
+      << "                               (default 8)\n"
+      << "    --max-replicates N         per-arm budget (default 256)\n"
+      << "    --batch N                  replicates per arm per round\n"
+      << "                               (default 8)\n"
+      << "    --resamples N              bootstrap resamples (default 400)\n"
+      << "    --seed S                   campaign seed (default 42)\n"
+      << "    --threads N --csv PATH --json PATH\n"
+      << "                               as for sweep\n";
   return 2;
 }
 
@@ -304,9 +338,14 @@ std::vector<std::string> split_scheme_list(const CliArgs& args,
   return out;
 }
 
-int run_sweep(const CliArgs& args) {
+/// The grid axes shared by `sweep` and `campaign`: workloads, networks,
+/// models, shapes, schedules and the dynamic-cluster rates. The default
+/// scheme list differs per subcommand; `campaign` does not read --seeds
+/// (replicate seeds come from the campaign's own stream).
+eval::SweepSpec grid_axes_from_flags(const CliArgs& args,
+                                     const std::string& default_schemes) {
   eval::SweepSpec spec;
-  spec.schemes = split_scheme_list(args, "schemes", "mk1,mk2");
+  spec.schemes = split_scheme_list(args, "schemes", default_schemes);
   spec.traces = split_list(args, "traces", "");
   spec.networks.clear();
   for (const auto& name : split_list(args, "networks", "gige,myrinet")) {
@@ -323,6 +362,11 @@ int run_sweep(const CliArgs& args) {
   }
   spec.churn_rates = split_double_list(args, "churn-rates", "0");
   spec.background_loads = split_double_list(args, "background-loads", "0");
+  return spec;
+}
+
+int run_sweep(const CliArgs& args) {
+  eval::SweepSpec spec = grid_axes_from_flags(args, "mk1,mk2");
   spec.seeds.clear();
   for (const auto& text : split_list(args, "seeds", "1,2,3")) {
     // try_parse_u64 is digits only: strtoull would silently wrap "-1" to
@@ -394,6 +438,85 @@ int run_sweep(const CliArgs& args) {
   return 0;
 }
 
+int run_campaign(const CliArgs& args) {
+  eval::CampaignSpec spec;
+  spec.grid = grid_axes_from_flags(args, "mk1,mk2");
+  spec.objective = eval::objective_from_string(args.get("objective",
+                                                        "measured"));
+  spec.stop.rule =
+      stats::stopping_rule_from_string(args.get("rule", "best-arm"));
+  spec.stop.tolerance = args.get_double("tolerance", 0.05);
+  spec.stop.confidence = args.get_double("confidence", 0.95);
+  spec.stop.min_replicates =
+      static_cast<int>(args.get_int("min-replicates", 8));
+  spec.stop.max_replicates =
+      static_cast<int>(args.get_int("max-replicates", 256));
+  spec.stop.resamples =
+      static_cast<size_t>(args.get_int("resamples", 400));
+  spec.batch = static_cast<int>(args.get_int("batch", 8));
+  spec.seed = static_cast<uint64_t>(args.get_int("seed", 42));
+  spec.stop.ci_seed = spec.seed;
+
+  const eval::Campaign campaign(std::move(spec));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  const int effective_threads =
+      threads > 0 ? threads : util::ThreadPool::hardware_threads();
+  std::cout << "campaign: " << campaign.num_arms() << " arm(s), rule "
+            << stats::to_string(campaign.spec().stop.rule) << ", objective "
+            << eval::to_string(campaign.spec().objective) << ", up to "
+            << campaign.spec().stop.max_replicates << " replicates/arm on "
+            << effective_threads << " thread(s)\n";
+  const auto result = campaign.run(threads);
+
+  TextTable table({"arm", "kind", "workload", "network", "model", "shape",
+                   "policy", "replicates", "mean", "95% CI", "status"});
+  for (size_t i = 0; i < result.arms.size(); ++i) {
+    const auto& arm = result.arms[i];
+    table.add_row({strformat("%zu", i), arm.kind, arm.workload, arm.network,
+                   arm.model, strformat("%dx%d", arm.nodes, arm.cores),
+                   arm.policy, strformat("%d", arm.replicates),
+                   strformat("%.4f", arm.mean),
+                   strformat("[%.4f, %.4f]", arm.ci_low, arm.ci_high),
+                   arm.error ? "ERROR: " + arm.error_msg : arm.status()});
+  }
+  std::cout << "\n" << table.render();
+
+  std::cout << "\nstopped by " << result.stopped_by << " after "
+            << result.rounds << " round(s): " << result.total_replicates
+            << " replays vs " << result.exhaustive_replicates
+            << " exhaustive ("
+            << strformat("%.1fx", result.savings_factor()) << " saved)\n";
+  if (result.winner >= 0) {
+    const auto& w = result.arms[static_cast<size_t>(result.winner)];
+    std::cout << "winner: arm " << result.winner << " — " << w.workload
+              << " on " << w.network << " (" << w.model << ", "
+              << strformat("%dx%d", w.nodes, w.cores);
+    if (w.kind == "trace") std::cout << ", " << w.policy;
+    std::cout << "), mean " << strformat("%.4f", w.mean) << " "
+              << (result.objective == "eabs" ? "%" : "s") << "\n";
+  }
+
+  const std::string csv_path = args.get("csv", "");
+  BWS_CHECK(csv_path != "true", "--csv expects a path, e.g. --csv arms.csv");
+  if (!csv_path.empty()) {
+    util::write_text_file(csv_path, result.to_csv());
+    std::cout << "\n[arms csv written to " << csv_path << "]\n";
+  }
+  const std::string json_path = args.get("json", "");
+  BWS_CHECK(json_path != "true",
+            "--json expects a path, e.g. --json arms.json");
+  if (!json_path.empty()) {
+    util::write_text_file(json_path, result.to_json());
+    std::cout << "[json written to " << json_path << "]\n";
+  }
+
+  if (result.winner < 0) {
+    std::cerr << "error: every campaign arm failed\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -447,6 +570,22 @@ int main(int argc, char** argv) {
         return usage(args.program());
       }
       return run_sweep(args);
+    }
+    if (subcommand == "campaign") {
+      if (pos.size() != 1) {
+        std::cerr << args.program() << " campaign: unexpected argument '"
+                  << pos[1] << "' (workloads go in --schemes/--traces)\n";
+        return usage(args.program());
+      }
+      if (!check_flags(args, subcommand,
+                       {"schemes", "traces", "networks", "models", "shapes",
+                        "schedules", "churn-rates", "background-loads",
+                        "objective", "rule", "tolerance", "confidence",
+                        "min-replicates", "max-replicates", "batch",
+                        "resamples", "seed", "threads", "csv", "json"})) {
+        return usage(args.program());
+      }
+      return run_campaign(args);
     }
     std::cerr << args.program() << ": unknown subcommand '" << subcommand
               << "'\n";

@@ -1,7 +1,6 @@
 #include "eval/sweep.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <map>
@@ -84,6 +83,10 @@ SweepShape parse_sweep_shape(const std::string& text) {
 void SweepSpec::validate() const {
   BWS_CHECK(!schemes.empty() || !traces.empty(),
             "sweep: at least one scheme or trace workload is required");
+  validate_axes();
+}
+
+void SweepSpec::validate_axes() const {
   BWS_CHECK(!networks.empty(), "sweep: networks axis must not be empty");
   BWS_CHECK(!models.empty(), "sweep: models axis must not be empty");
   BWS_CHECK(!shapes.empty(), "sweep: shapes axis must not be empty");
@@ -115,29 +118,36 @@ void SweepSpec::validate() const {
   }
 }
 
+ResolvedWorkload resolve_scheme_workload(const std::string& entry) {
+  ResolvedWorkload w;
+  w.key = entry;
+  if (entry.find(':') != std::string::npos) {
+    w.generator = graph::parse_generator_spec(entry);
+  } else if (entry.ends_with(".scheme")) {
+    w.scheme = std::make_shared<const graph::CommGraph>(
+        graph::parse_scheme_file(entry).graph);
+  } else {
+    w.scheme = std::make_shared<const graph::CommGraph>(builtin_scheme(entry));
+  }
+  return w;
+}
+
+ResolvedWorkload resolve_trace_workload(const std::string& entry) {
+  ResolvedWorkload w;
+  w.key = entry;
+  auto trace = sim::read_trace_file(entry);
+  trace.validate();
+  w.trace = std::make_shared<const sim::AppTrace>(std::move(trace));
+  return w;
+}
+
 Sweep::Sweep(SweepSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
   for (const auto& entry : spec_.schemes) {
-    Workload w;
-    w.key = entry;
-    if (entry.find(':') != std::string::npos) {
-      w.generator = graph::parse_generator_spec(entry);
-    } else if (entry.ends_with(".scheme")) {
-      w.scheme = std::make_shared<const graph::CommGraph>(
-          graph::parse_scheme_file(entry).graph);
-    } else {
-      w.scheme =
-          std::make_shared<const graph::CommGraph>(builtin_scheme(entry));
-    }
-    scheme_workloads_.push_back(std::move(w));
+    scheme_workloads_.push_back(resolve_scheme_workload(entry));
   }
   for (const auto& entry : spec_.traces) {
-    Workload w;
-    w.key = entry;
-    auto trace = sim::read_trace_file(entry);
-    trace.validate();
-    w.trace = std::make_shared<const sim::AppTrace>(std::move(trace));
-    trace_workloads_.push_back(std::move(w));
+    trace_workloads_.push_back(resolve_trace_workload(entry));
   }
 }
 
@@ -161,31 +171,103 @@ models::PenaltyModelPtr resolve_model(const std::string& name,
 
 }  // namespace
 
+SweepCell run_cell(const CellJob& job) {
+  const bool is_trace = job.workload->is_trace();
+  SweepCell cell;
+  cell.kind = is_trace ? "trace" : "scheme";
+  cell.workload = job.workload->key;
+  cell.network = short_tech_name(job.tech);
+  cell.policy = is_trace ? sim::to_string(job.policy) : "-";
+  cell.churn_rate = job.churn;
+  cell.background_load = job.background;
+  cell.seed = job.seed;
+  try {
+    const auto model = resolve_model(job.model, job.tech);
+    cell.model = model->name();
+    // Materialize the scheme first: generated workloads may need more
+    // nodes than the shape provides, and (like `bwshare_cli scheme`) the
+    // cluster grows to fit rather than erroring the cell.
+    graph::CommGraph generated;
+    const graph::CommGraph* scheme = nullptr;
+    if (!is_trace) {
+      if (job.workload->generator) {
+        generated = graph::generate_scheme(*job.workload->generator,
+                                           job.seed);
+        scheme = &generated;
+      } else {
+        scheme = job.workload->scheme.get();
+      }
+    }
+    const int nodes =
+        scheme ? std::max(job.shape.nodes, scheme->num_nodes())
+               : job.shape.nodes;
+    cell.nodes = nodes;
+    cell.cores = job.shape.cores;
+    const auto cluster =
+        topo::ClusterSpec::uniform("sweep", nodes, job.shape.cores,
+                                   topo::calibration_for(job.tech));
+    if (is_trace) {
+      // Dynamic-cluster scripts are drawn from the cell's seed alone (the
+      // generators salt churn vs background internally), so the cell is
+      // reproducible independent of execution order or thread count.
+      sim::Scenario scenario;
+      if (job.churn > 0.0) {
+        graph::ChurnSpec cs;
+        cs.rate = job.churn;
+        cs.horizon = 1.0;
+        cs.nodes = nodes;
+        scenario.churn = graph::generate_churn(cs, job.seed);
+      }
+      if (job.background > 0.0) {
+        graph::BackgroundSpec bs;
+        bs.rate = job.background;
+        bs.horizon = 1.0;
+        bs.nodes = nodes;
+        scenario.background = graph::generate_background(bs, job.seed);
+      }
+      const auto cmp =
+          compare_application(*job.workload->trace, cluster, job.policy,
+                              *model, job.seed, scenario);
+      cell.units = job.workload->trace->num_tasks();
+      cell.measured_s = cmp.measured_makespan;
+      cell.predicted_s = cmp.predicted_makespan;
+      cell.eabs_pct = cmp.mean_eabs;
+      for (const auto& task : cmp.tasks) {
+        cell.max_abs_erel_pct = std::max(cell.max_abs_erel_pct, task.eabs);
+      }
+    } else {
+      const auto cmp = compare_scheme(*scheme, cluster, *model);
+      cell.units = scheme->size();
+      for (const double t : cmp.measured) cell.measured_s += t;
+      for (const double t : cmp.predicted) cell.predicted_s += t;
+      cell.eabs_pct = cmp.eabs;
+      for (const double e : cmp.erel) {
+        cell.max_abs_erel_pct = std::max(cell.max_abs_erel_pct,
+                                         std::fabs(e));
+      }
+    }
+    cell.ok = true;
+  } catch (const std::exception& e) {
+    cell.ok = false;
+    cell.error = e.what();
+  }
+  return cell;
+}
+
 SweepResult Sweep::run(int threads) const {
   // Expand the grid in its documented order: workloads (schemes first, then
   // traces, each in listed order) x networks x models x shapes
   // [x policies x churn_rates x background_loads, trace cells only] x seeds.
-  struct Job {
-    const Workload* workload = nullptr;
-    topo::NetworkTech tech{};
-    const std::string* model = nullptr;
-    SweepShape shape;
-    sim::SchedulingPolicy policy{};
-    double churn = 0.0;
-    double background = 0.0;
-    uint64_t seed = 0;
-    bool is_trace = false;
-  };
-  std::vector<Job> jobs;
+  std::vector<CellJob> jobs;
   jobs.reserve(num_jobs());
   for (const auto& w : scheme_workloads_) {
     for (const auto tech : spec_.networks) {
       for (const auto& model : spec_.models) {
         for (const auto& shape : spec_.shapes) {
           for (const auto seed : spec_.seeds) {
-            jobs.push_back({&w, tech, &model, shape,
+            jobs.push_back({&w, tech, model, shape,
                             sim::SchedulingPolicy::kRoundRobinNode, 0.0, 0.0,
-                            seed, false});
+                            seed});
           }
         }
       }
@@ -199,8 +281,8 @@ SweepResult Sweep::run(int threads) const {
             for (const double churn : spec_.churn_rates) {
               for (const double background : spec_.background_loads) {
                 for (const auto seed : spec_.seeds) {
-                  jobs.push_back({&w, tech, &model, shape, policy, churn,
-                                  background, seed, true});
+                  jobs.push_back({&w, tech, model, shape, policy, churn,
+                                  background, seed});
                 }
               }
             }
@@ -213,86 +295,9 @@ SweepResult Sweep::run(int threads) const {
   SweepResult result;
   result.cells.resize(jobs.size());
 
-  const auto run_job = [this, &jobs, &result](int index) {
-    const Job& job = jobs[static_cast<size_t>(index)];
-    SweepCell& cell = result.cells[static_cast<size_t>(index)];
-    cell.kind = job.is_trace ? "trace" : "scheme";
-    cell.workload = job.workload->key;
-    cell.network = short_tech_name(job.tech);
-    cell.policy = job.is_trace ? sim::to_string(job.policy) : "-";
-    cell.churn_rate = job.churn;
-    cell.background_load = job.background;
-    cell.seed = job.seed;
-    try {
-      const auto model = resolve_model(*job.model, job.tech);
-      cell.model = model->name();
-      // Materialize the scheme first: generated workloads may need more
-      // nodes than the shape provides, and (like `bwshare_cli scheme`) the
-      // cluster grows to fit rather than erroring the cell.
-      graph::CommGraph generated;
-      const graph::CommGraph* scheme = nullptr;
-      if (!job.is_trace) {
-        if (job.workload->generator) {
-          generated = graph::generate_scheme(*job.workload->generator,
-                                             job.seed);
-          scheme = &generated;
-        } else {
-          scheme = job.workload->scheme.get();
-        }
-      }
-      const int nodes =
-          scheme ? std::max(job.shape.nodes, scheme->num_nodes())
-                 : job.shape.nodes;
-      cell.nodes = nodes;
-      cell.cores = job.shape.cores;
-      const auto cluster =
-          topo::ClusterSpec::uniform("sweep", nodes, job.shape.cores,
-                                     topo::calibration_for(job.tech));
-      if (job.is_trace) {
-        // Dynamic-cluster scripts are drawn from the cell's seed alone (the
-        // generators salt churn vs background internally), so the cell is
-        // reproducible independent of execution order or thread count.
-        sim::Scenario scenario;
-        if (job.churn > 0.0) {
-          graph::ChurnSpec cs;
-          cs.rate = job.churn;
-          cs.horizon = 1.0;
-          cs.nodes = nodes;
-          scenario.churn = graph::generate_churn(cs, job.seed);
-        }
-        if (job.background > 0.0) {
-          graph::BackgroundSpec bs;
-          bs.rate = job.background;
-          bs.horizon = 1.0;
-          bs.nodes = nodes;
-          scenario.background = graph::generate_background(bs, job.seed);
-        }
-        const auto cmp =
-            compare_application(*job.workload->trace, cluster, job.policy,
-                                *model, job.seed, scenario);
-        cell.units = job.workload->trace->num_tasks();
-        cell.measured_s = cmp.measured_makespan;
-        cell.predicted_s = cmp.predicted_makespan;
-        cell.eabs_pct = cmp.mean_eabs;
-        for (const auto& task : cmp.tasks) {
-          cell.max_abs_erel_pct = std::max(cell.max_abs_erel_pct, task.eabs);
-        }
-      } else {
-        const auto cmp = compare_scheme(*scheme, cluster, *model);
-        cell.units = scheme->size();
-        for (const double t : cmp.measured) cell.measured_s += t;
-        for (const double t : cmp.predicted) cell.predicted_s += t;
-        cell.eabs_pct = cmp.eabs;
-        for (const double e : cmp.erel) {
-          cell.max_abs_erel_pct = std::max(cell.max_abs_erel_pct,
-                                           std::fabs(e));
-        }
-      }
-      cell.ok = true;
-    } catch (const std::exception& e) {
-      cell.ok = false;
-      cell.error = e.what();
-    }
+  const auto run_job = [&jobs, &result](int index) {
+    result.cells[static_cast<size_t>(index)] =
+        run_cell(jobs[static_cast<size_t>(index)]);
   };
 
   util::ThreadPool pool(threads);
@@ -405,15 +410,7 @@ SweepResult Sweep::run(int threads) const {
 
 namespace {
 
-// Locale-independent fixed-point formatting: a host application that calls
-// setlocale() must not turn "12.5" into "12,5" in machine-readable output.
-std::string format_fixed(double v, int precision) {
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
-                                 std::chars_format::fixed, precision);
-  BWS_ASSERT(res.ec == std::errc(), "to_chars failed");
-  return std::string(buf, res.ptr);
-}
+using util::format_fixed;
 
 util::CsvWriter cells_table(const std::vector<SweepCell>& cells) {
   // Schema v2: churn_rate/background_load joined the per-cell columns when

@@ -70,11 +70,52 @@ struct SweepSpec {
   std::vector<double> background_loads = {0.0};
   /// Seed axis. A cell's seed drives scheme generation, random placement
   /// and the churn/background scripts; it is the only source of randomness
-  /// in a sweep.
+  /// in a sweep. (eval::Campaign ignores this axis: replicate seeds are
+  /// drawn from the campaign's own salted counter stream instead.)
   std::vector<uint64_t> seeds = {42};
 
   /// Throws bwshare::Error if any axis is empty or no workload is given.
   void validate() const;
+  /// Axis validation only — everything validate() checks except workload
+  /// presence. Used by eval::Campaign when workloads are supplied
+  /// pre-resolved (in-memory traces) rather than through schemes/traces.
+  void validate_axes() const;
+};
+
+/// A workload entry resolved to something executable: exactly one of
+/// `scheme` (static graph), `generator` (seeded graph family) or `trace`
+/// is set. Shared by Sweep (which resolves its axis strings up front) and
+/// Campaign (which may also take pre-built in-memory workloads, e.g. the
+/// network-advisor's MiniMPI-recorded traces).
+struct ResolvedWorkload {
+  std::string key;  // display name: the axis entry, or a caller-given label
+  std::shared_ptr<const graph::CommGraph> scheme;
+  std::optional<graph::GeneratorSpec> generator;
+  std::shared_ptr<const sim::AppTrace> trace;
+
+  [[nodiscard]] bool is_trace() const { return trace != nullptr; }
+};
+
+/// Resolve a scheme axis entry (built-in name, .scheme path or generator
+/// spec — the SweepSpec::schemes grammar). Throws bwshare::Error.
+[[nodiscard]] ResolvedWorkload resolve_scheme_workload(
+    const std::string& entry);
+
+/// Load + validate a trace file. Throws bwshare::Error.
+[[nodiscard]] ResolvedWorkload resolve_trace_workload(
+    const std::string& entry);
+
+/// One fully specified grid cell: a workload at a point on every axis.
+/// `workload` must outlive the call; `seed` is the cell's only randomness.
+struct CellJob {
+  const ResolvedWorkload* workload = nullptr;
+  topo::NetworkTech tech{};
+  std::string model;  // registry name or "network"
+  SweepShape shape;
+  sim::SchedulingPolicy policy = sim::SchedulingPolicy::kRoundRobinNode;
+  double churn = 0.0;
+  double background = 0.0;
+  uint64_t seed = 0;
 };
 
 /// One executed grid cell.
@@ -97,6 +138,14 @@ struct SweepCell {
   bool ok = false;
   std::string error;     // populated when !ok
 };
+
+/// Execute one grid cell — the sweep executor, exposed so Campaign can run
+/// replicates through the exact same code path. Scheme cells run
+/// compare_scheme, trace cells compare_application under the job's
+/// policy/churn/background scenario. Failures are recorded in the returned
+/// cell (ok = false, error message), never thrown; the result depends only
+/// on the job, never on execution order or thread count.
+[[nodiscard]] SweepCell run_cell(const CellJob& job);
 
 /// Marginal summary: all ok cells sharing one axis value.
 struct SweepMarginal {
@@ -136,16 +185,9 @@ class Sweep {
   [[nodiscard]] SweepResult run(int threads = 1) const;
 
  private:
-  struct Workload {
-    std::string key;
-    std::shared_ptr<const graph::CommGraph> scheme;   // static scheme
-    std::optional<graph::GeneratorSpec> generator;    // seeded scheme
-    std::shared_ptr<const sim::AppTrace> trace;
-  };
-
   SweepSpec spec_;
-  std::vector<Workload> scheme_workloads_;
-  std::vector<Workload> trace_workloads_;
+  std::vector<ResolvedWorkload> scheme_workloads_;
+  std::vector<ResolvedWorkload> trace_workloads_;
 };
 
 }  // namespace bwshare::eval

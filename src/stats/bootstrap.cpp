@@ -17,6 +17,12 @@ Interval bootstrap_ci(
   // std::invalid_argument, not a bwshare::Error. The message is pinned by
   // tests/stats/test_bootstrap.cpp.
   if (xs.empty()) throw std::invalid_argument("bootstrap_ci: empty series");
+  // Same catchable-precondition contract as the empty series: zero resamples
+  // used to fall through to percentile() over an empty estimate vector and
+  // return a silently degenerate {0, 0, point} interval.
+  if (resamples == 0) {
+    throw std::invalid_argument("bootstrap_ci: resamples must be positive");
+  }
   BWS_CHECK(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
   Rng rng(seed);
   std::vector<double> resample(xs.size());

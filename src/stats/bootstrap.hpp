@@ -20,10 +20,13 @@ struct Interval {
 /// `level` is the two-sided confidence level, e.g. 0.95.
 ///
 /// An empty `xs` throws std::invalid_argument with the message
-/// "bootstrap_ci: empty series" — a catchable precondition failure, distinct
-/// from bwshare::Error, so callers aggregating optional series (e.g.
+/// "bootstrap_ci: empty series", and `resamples == 0` throws
+/// std::invalid_argument with the message "bootstrap_ci: resamples must be
+/// positive" — catchable precondition failures, distinct from
+/// bwshare::Error, so callers aggregating optional series (e.g.
 /// interference summaries with no completed communications) can branch on
-/// the type. Out-of-range `level` still throws bwshare::Error.
+/// the type. Out-of-range `level` still throws bwshare::Error. Both
+/// messages are pinned by tests/stats/test_bootstrap.cpp.
 [[nodiscard]] Interval bootstrap_ci(
     std::span<const double> xs,
     const std::function<double(std::span<const double>)>& statistic,

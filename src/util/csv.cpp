@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +48,14 @@ std::string json_escape(std::string_view s) {
     }
   }
   return out;
+}
+
+std::string format_fixed(double v, int precision) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::fixed, precision);
+  BWS_ASSERT(res.ec == std::errc(), "to_chars failed");
+  return std::string(buf, res.ptr);
 }
 
 CsvWriter::CsvWriter(std::vector<std::string> header)

@@ -23,6 +23,11 @@ void write_text_file(const std::string& path, std::string_view content);
 /// backslash, control characters).
 [[nodiscard]] std::string json_escape(std::string_view s);
 
+/// Locale-independent fixed-point formatting (std::to_chars): a host
+/// application that calls setlocale() must not turn "12.5" into "12,5" in
+/// machine-readable output. Shared by the sweep and campaign table writers.
+[[nodiscard]] std::string format_fixed(double v, int precision);
+
 class CsvWriter {
  public:
   explicit CsvWriter(std::vector<std::string> header);

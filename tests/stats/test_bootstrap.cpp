@@ -62,6 +62,20 @@ TEST(Bootstrap, EmptySeriesThrowsInvalidArgumentWithPinnedMessage) {
   }
 }
 
+TEST(Bootstrap, ZeroResamplesThrowsInvalidArgumentWithPinnedMessage) {
+  // resamples == 0 used to return a silent degenerate interval; the
+  // documented contract now is a typed, catchable precondition failure.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  try {
+    (void)bootstrap_mean_ci(xs, /*resamples=*/0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "bootstrap_ci: resamples must be positive");
+  } catch (const Error&) {
+    FAIL() << "zero resamples must not throw bwshare::Error";
+  }
+}
+
 TEST(Bootstrap, EmptySeriesIsNotABwshareError) {
   EXPECT_THROW((void)bootstrap_mean_ci({}, 100), std::invalid_argument);
   try {
