@@ -25,6 +25,12 @@
 //       stopping rule fires — best arm separated, CIs tight, or hopeless
 //       arms cut — instead of running the whole grid to completion.
 //
+//   bwshare_cli serve [--threads N] [--cache N] [--memo N] [--verify]
+//       Prediction-as-a-service daemon (serve::QueryService): JSON-lines
+//       queries on stdin, responses on stdout. A blank line flushes the
+//       accumulated batch; repeats hit the result cache, near-duplicates
+//       warm-start from memoized component solutions (docs/SERVING.md).
+//
 // The trace and multijob subcommands accept a dynamic-cluster scenario
 // (--churn/--background, sim/scenario.hpp): seeded Poisson membership
 // events and cross-traffic contending with the replay.
@@ -46,6 +52,7 @@
 #include "graph/generator.hpp"
 #include "graph/scheme_parser.hpp"
 #include "models/registry.hpp"
+#include "serve/protocol.hpp"
 #include "sim/multijob.hpp"
 #include "sim/rate_model.hpp"
 #include "sim/report.hpp"
@@ -147,7 +154,22 @@ int usage(const std::string& prog) {
       << "    --resamples N              bootstrap resamples (default 400)\n"
       << "    --seed S                   campaign seed (default 42)\n"
       << "    --threads N --csv PATH --json PATH\n"
-      << "                               as for sweep\n";
+      << "                               as for sweep\n"
+      << "\n"
+      << "  serve                  prediction-as-a-service daemon: one flat\n"
+      << "                         JSON query per stdin line, one JSON\n"
+      << "                         response per line; a blank line flushes\n"
+      << "                         the batch, {\"op\":\"stats\"} reports\n"
+      << "                         counters (docs/SERVING.md)\n"
+      << "    --threads N                replay workers per batch\n"
+      << "                               (default: hardware)\n"
+      << "    --cache N                  result-cache capacity in replays\n"
+      << "                               (default 64; 0 = serve-through)\n"
+      << "    --memo N                   warm-start store capacity in\n"
+      << "                               component solutions (default 65536)\n"
+      << "    --no-warm                  disable cross-query warm-start\n"
+      << "    --verify                   bitwise-verify every warm answer\n"
+      << "                               against a cold run (slow; oracle)\n";
   return 2;
 }
 
@@ -517,6 +539,26 @@ int run_campaign(const CliArgs& args) {
   return 0;
 }
 
+int run_serve(const CliArgs& args) {
+  serve::ServiceConfig config;
+  config.threads = static_cast<int>(args.get_int("threads", 0));
+  const long cache = args.get_int("cache", 64);
+  const long memo = args.get_int("memo", 65536);
+  BWS_CHECK(cache >= 0, "--cache must be >= 0");
+  BWS_CHECK(memo >= 0, "--memo must be >= 0");
+  config.cache_capacity = static_cast<size_t>(cache);
+  config.memo_capacity = static_cast<size_t>(memo);
+  config.warm_start = !args.get_bool("no-warm", false);
+  config.verify = args.get_bool("verify", false);
+  const size_t failures =
+      serve::run_serve_loop(std::cin, std::cout, config);
+  if (failures > 0) {
+    std::cerr << "error: " << failures << " request(s) failed\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -586,6 +628,18 @@ int main(int argc, char** argv) {
         return usage(args.program());
       }
       return run_campaign(args);
+    }
+    if (subcommand == "serve") {
+      if (pos.size() != 1) {
+        std::cerr << args.program() << " serve: unexpected argument '"
+                  << pos[1] << "' (queries arrive on stdin)\n";
+        return usage(args.program());
+      }
+      if (!check_flags(args, subcommand,
+                       {"threads", "cache", "memo", "no-warm", "verify"})) {
+        return usage(args.program());
+      }
+      return run_serve(args);
     }
     std::cerr << args.program() << ": unknown subcommand '" << subcommand
               << "'\n";

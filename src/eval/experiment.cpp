@@ -35,39 +35,55 @@ ApplicationComparison compare_application(const sim::AppTrace& trace,
                                           const models::PenaltyModel& model,
                                           uint64_t seed,
                                           const sim::Scenario& scenario) {
-  ApplicationComparison out;
-  out.placement =
+  return compare_application_detailed(trace, cluster, policy, model, seed,
+                                      scenario)
+      .summary;
+}
+
+ApplicationComparisonDetailed compare_application_detailed(
+    const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
+    sim::SchedulingPolicy policy, const models::PenaltyModel& model,
+    uint64_t seed, const sim::Scenario& scenario,
+    const ReplayConfig& config) {
+  ApplicationComparisonDetailed out;
+  ApplicationComparison& summary = out.summary;
+  summary.placement =
       sim::make_placement(policy, cluster, trace.num_tasks(), seed);
 
-  // Both replays use the engine's defaults: incremental component-scoped
-  // refresh and the event-core finish-time heap (docs/PERFORMANCE.md) —
-  // sweep grids over large clusters would otherwise spend nearly all their
-  // time in full per-event re-solves and next-completion scans.
+  // Both replays default to the engine's defaults: incremental
+  // component-scoped refresh and the event-core finish-time heap
+  // (docs/PERFORMANCE.md) — sweep grids over large clusters would otherwise
+  // spend nearly all their time in full per-event re-solves and
+  // next-completion scans.
   const flowsim::FluidRateProvider measured_provider(cluster.network());
-  const auto measured = sim::run_simulation(trace, cluster, out.placement,
-                                            measured_provider, scenario);
+  auto measured = std::make_shared<sim::SimResult>(
+      sim::run_simulation(trace, cluster, summary.placement,
+                          measured_provider, scenario, config.measured));
 
   const std::shared_ptr<const models::PenaltyModel> alias(
       std::shared_ptr<const models::PenaltyModel>{}, &model);
   const sim::ModelRateProvider predicted_provider(alias, cluster.network());
-  const auto predicted = sim::run_simulation(trace, cluster, out.placement,
-                                             predicted_provider, scenario);
+  auto predicted = std::make_shared<sim::SimResult>(
+      sim::run_simulation(trace, cluster, summary.placement,
+                          predicted_provider, scenario, config.predicted));
 
-  out.measured_makespan = measured.makespan;
-  out.predicted_makespan = predicted.makespan;
+  summary.measured_makespan = measured->makespan;
+  summary.predicted_makespan = predicted->makespan;
 
-  out.tasks.resize(static_cast<size_t>(trace.num_tasks()));
+  summary.tasks.resize(static_cast<size_t>(trace.num_tasks()));
   stats::Accumulator acc;
   for (sim::TaskId t = 0; t < trace.num_tasks(); ++t) {
-    auto& tc = out.tasks[static_cast<size_t>(t)];
-    tc.sum_measured = measured.task_comm_time(t);
-    tc.sum_predicted = predicted.task_comm_time(t);
+    auto& tc = summary.tasks[static_cast<size_t>(t)];
+    tc.sum_measured = measured->task_comm_time(t);
+    tc.sum_predicted = predicted->task_comm_time(t);
     if (tc.sum_measured > 0.0) {
       tc.eabs = task_absolute_error(tc.sum_predicted, tc.sum_measured);
       acc.add(tc.eabs);
     }
   }
-  out.mean_eabs = acc.mean();
+  summary.mean_eabs = acc.mean();
+  out.measured = std::move(measured);
+  out.predicted = std::move(predicted);
   return out;
 }
 

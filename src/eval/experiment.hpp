@@ -57,4 +57,29 @@ struct ApplicationComparison {
     sim::SchedulingPolicy policy, const models::PenaltyModel& model,
     uint64_t seed = 42, const sim::Scenario& scenario = {});
 
+/// Per-replay engine configuration for compare_application_detailed. The
+/// defaults are exactly what compare_application uses; the serving layer
+/// threads a sim::SolveMemo into each side for cross-query warm-start —
+/// which by the memo's purity contract cannot change a single bit of the
+/// comparison, only the amount of solver work behind it.
+struct ReplayConfig {
+  sim::EngineConfig measured;
+  sim::EngineConfig predicted;
+};
+
+/// compare_application plus the full replay results it derives its summary
+/// from. The SimResults are shared_ptr so callers (the serve result cache)
+/// can retain them without copying the per-comm records.
+struct ApplicationComparisonDetailed {
+  ApplicationComparison summary;
+  std::shared_ptr<const sim::SimResult> measured;
+  std::shared_ptr<const sim::SimResult> predicted;
+};
+
+[[nodiscard]] ApplicationComparisonDetailed compare_application_detailed(
+    const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
+    sim::SchedulingPolicy policy, const models::PenaltyModel& model,
+    uint64_t seed = 42, const sim::Scenario& scenario = {},
+    const ReplayConfig& config = {});
+
 }  // namespace bwshare::eval

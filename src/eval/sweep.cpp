@@ -172,8 +172,13 @@ models::PenaltyModelPtr resolve_model(const std::string& name,
 }  // namespace
 
 SweepCell run_cell(const CellJob& job) {
+  return run_cell_detailed(job).cell;
+}
+
+CellOutcome run_cell_detailed(const CellJob& job, const CellHooks& hooks) {
   const bool is_trace = job.workload->is_trace();
-  SweepCell cell;
+  CellOutcome out;
+  SweepCell& cell = out.cell;
   cell.kind = is_trace ? "trace" : "scheme";
   cell.workload = job.workload->key;
   cell.network = short_tech_name(job.tech);
@@ -225,9 +230,14 @@ SweepCell run_cell(const CellJob& job) {
         bs.nodes = nodes;
         scenario.background = graph::generate_background(bs, job.seed);
       }
-      const auto cmp =
-          compare_application(*job.workload->trace, cluster, job.policy,
-                              *model, job.seed, scenario);
+      ReplayConfig replay;
+      replay.measured.solve_memo = hooks.measured_memo;
+      replay.predicted.solve_memo = hooks.predicted_memo;
+      auto detailed =
+          compare_application_detailed(*job.workload->trace, cluster,
+                                       job.policy, *model, job.seed,
+                                       scenario, replay);
+      const auto& cmp = detailed.summary;
       cell.units = job.workload->trace->num_tasks();
       cell.measured_s = cmp.measured_makespan;
       cell.predicted_s = cmp.predicted_makespan;
@@ -235,6 +245,9 @@ SweepCell run_cell(const CellJob& job) {
       for (const auto& task : cmp.tasks) {
         cell.max_abs_erel_pct = std::max(cell.max_abs_erel_pct, task.eabs);
       }
+      out.placement = cmp.placement;
+      out.measured = std::move(detailed.measured);
+      out.predicted = std::move(detailed.predicted);
     } else {
       const auto cmp = compare_scheme(*scheme, cluster, *model);
       cell.units = scheme->size();
@@ -250,8 +263,11 @@ SweepCell run_cell(const CellJob& job) {
   } catch (const std::exception& e) {
     cell.ok = false;
     cell.error = e.what();
+    out.placement = sim::Placement();
+    out.measured.reset();
+    out.predicted.reset();
   }
-  return cell;
+  return out;
 }
 
 SweepResult Sweep::run(int threads) const {

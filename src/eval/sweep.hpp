@@ -25,6 +25,11 @@
 #include "sim/schedule.hpp"
 #include "topo/network.hpp"
 
+namespace bwshare::sim {
+class SolveMemo;
+struct SimResult;
+}
+
 namespace bwshare::eval {
 
 /// One cluster shape cell: `nodes` SMP nodes with `cores` cores each.
@@ -146,6 +151,30 @@ struct SweepCell {
 /// cell (ok = false, error message), never thrown; the result depends only
 /// on the job, never on execution order or thread count.
 [[nodiscard]] SweepCell run_cell(const CellJob& job);
+
+/// Optional instrumentation for run_cell_detailed. The memos (not owned,
+/// may be null) are threaded into the trace cell's two replays as
+/// EngineConfig::solve_memo — the serving layer's cross-query warm-start
+/// hook (sim/solve_memo.hpp). Scheme cells ignore them (compare_scheme is a
+/// static solve with no replay).
+struct CellHooks {
+  sim::SolveMemo* measured_memo = nullptr;
+  sim::SolveMemo* predicted_memo = nullptr;
+};
+
+/// run_cell plus the full replay evidence for trace cells: the placement
+/// and both SimResults (null for scheme cells and for errored cells). The
+/// summary `cell` is computed identically to run_cell — same numbers, same
+/// error recording.
+struct CellOutcome {
+  SweepCell cell;
+  sim::Placement placement;
+  std::shared_ptr<const sim::SimResult> measured;
+  std::shared_ptr<const sim::SimResult> predicted;
+};
+
+[[nodiscard]] CellOutcome run_cell_detailed(const CellJob& job,
+                                            const CellHooks& hooks = {});
 
 /// Marginal summary: all ok cells sharing one axis value.
 struct SweepMarginal {

@@ -1,0 +1,65 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+namespace bwshare::serve {
+
+std::shared_ptr<const QueryResult> ResultCache::lookup(uint64_t fp) {
+  const auto it = map_.find(fp);
+  if (it == map_.end()) return nullptr;
+  mru_.splice(mru_.begin(), mru_, it->second.first);
+  return it->second.second;
+}
+
+void ResultCache::insert(uint64_t fp,
+                         std::shared_ptr<const QueryResult> result) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(fp);
+  if (it != map_.end()) {
+    mru_.splice(mru_.begin(), mru_, it->second.first);
+    it->second.second = std::move(result);
+    return;
+  }
+  mru_.push_front(fp);
+  map_.emplace(fp, std::make_pair(mru_.begin(), std::move(result)));
+  while (map_.size() > capacity_) {
+    map_.erase(mru_.back());
+    mru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::vector<uint64_t> ResultCache::keys_mru_first() const {
+  return {mru_.begin(), mru_.end()};
+}
+
+bool WarmStore::lookup(uint64_t key, std::vector<double>& rates) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  rates = it->second.second;
+  return true;
+}
+
+void WarmStore::commit(
+    const std::map<uint64_t, std::vector<double>>& staged) {
+  if (capacity_ == 0) return;
+  for (const auto& [key, rates] : staged) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      // Same key => same bits (the solve-memo purity contract); only the
+      // commit recency needs refreshing.
+      commit_order_.splice(commit_order_.begin(), commit_order_,
+                           it->second.first);
+      continue;
+    }
+    commit_order_.push_front(key);
+    map_.emplace(key, std::make_pair(commit_order_.begin(), rates));
+  }
+  while (map_.size() > capacity_) {
+    map_.erase(commit_order_.back());
+    commit_order_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace bwshare::serve

@@ -1,0 +1,62 @@
+// The JSON-lines wire protocol in front of serve::QueryService — the
+// `bwshare_cli serve` daemon (docs/SERVING.md has the full grammar).
+//
+// One request per line, each a *flat* JSON object (string / number / bool /
+// null values only — no nesting; this is a protocol, not a JSON library).
+// A blank line flushes the accumulated batch through
+// QueryService::query_batch and emits one response line per request, in
+// request order. `{"op":"stats"}` flushes, then emits a counters line.
+// EOF flushes. Malformed lines flush, then produce an ok=false line —
+// ordering is preserved even for garbage.
+//
+// Responses are rendered with locale-independent fixed-point formatting
+// (util::format_fixed), so the emitted byte stream for a given request
+// stream is identical at any service thread count — the CI smoke `cmp`s
+// a 1-thread run against a 4-thread run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace bwshare::serve {
+
+/// A value in a flat request object.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string str;     // kString: unescaped text; kNumber: raw spelling
+  double num = 0.0;    // kNumber only
+  bool boolean = false;  // kBool only
+};
+
+/// Key/value pairs in source order (duplicates are rejected at parse time).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Parse one request line: a single flat JSON object, nothing before or
+/// after it. Throws bwshare::Error on malformed input, nested values or
+/// duplicate keys.
+[[nodiscard]] JsonObject parse_flat_json_object(std::string_view line);
+
+/// Map a parsed object onto a Query. Unknown keys and wrongly typed values
+/// throw bwshare::Error — a misspelled axis must not silently become a
+/// default. (`op` is accepted and must be "query".)
+[[nodiscard]] Query query_from_json(const JsonObject& obj);
+
+/// One response line (no trailing newline).
+[[nodiscard]] std::string response_to_json(const Response& r);
+
+/// One stats line (no trailing newline).
+[[nodiscard]] std::string stats_to_json(const ServiceStats& s);
+
+/// The daemon loop: read request lines from `in`, serve them, write
+/// response lines to `out`. Returns the number of ok=false response lines
+/// emitted (0 = a fully clean run).
+size_t run_serve_loop(std::istream& in, std::ostream& out,
+                      const ServiceConfig& config);
+
+}  // namespace bwshare::serve

@@ -10,7 +10,9 @@
 
 #include "core/clock.hpp"
 #include "core/event_queue.hpp"
+#include "sim/solve_memo.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/strings.hpp"
 #include "util/threadpool.hpp"
 
@@ -32,6 +34,41 @@ double SimResult::task_comm_time(TaskId t) const {
   BWS_CHECK(t >= 0 && t < static_cast<TaskId>(tasks.size()),
             "task out of range");
   return tasks[static_cast<size_t>(t)].send_blocked_seconds;
+}
+
+bool bit_identical(const SimResult& a, const SimResult& b) {
+  if (a.makespan != b.makespan) return false;
+  if (a.aborted_comms != b.aborted_comms) return false;
+  if (a.background_comms != b.background_comms) return false;
+  if (a.background_skipped != b.background_skipped) return false;
+  if (a.comms.size() != b.comms.size()) return false;
+  for (size_t i = 0; i < a.comms.size(); ++i) {
+    const CommRecord& x = a.comms[i];
+    const CommRecord& y = b.comms[i];
+    if (x.src_task != y.src_task || x.dst_task != y.dst_task ||
+        x.src_node != y.src_node || x.dst_node != y.dst_node ||
+        x.bytes != y.bytes || x.send_post != y.send_post ||
+        x.recv_post != y.recv_post || x.start != y.start ||
+        x.finish != y.finish || x.penalty != y.penalty ||
+        x.sender_time != y.sender_time || x.background != y.background ||
+        x.aborted != y.aborted) {
+      return false;
+    }
+  }
+  if (a.tasks.size() != b.tasks.size()) return false;
+  for (size_t t = 0; t < a.tasks.size(); ++t) {
+    const TaskStats& x = a.tasks[t];
+    const TaskStats& y = b.tasks[t];
+    if (x.finish_time != y.finish_time ||
+        x.compute_seconds != y.compute_seconds ||
+        x.send_blocked_seconds != y.send_blocked_seconds ||
+        x.recv_blocked_seconds != y.recv_blocked_seconds ||
+        x.barrier_wait_seconds != y.barrier_wait_seconds ||
+        x.sends != y.sends || x.recvs != y.recvs) {
+      return false;
+    }
+  }
+  return true;
 }
 
 namespace {
@@ -855,18 +892,63 @@ class Engine {
   /// graph of the component's members and hand it to the provider's
   /// component-restricted entry point. Reads shared state strictly const —
   /// safe to run concurrently with other components' compute phases.
+  ///
+  /// With EngineConfig::solve_memo set, the induced subproblem is first
+  /// hashed — (salt, then per member: src node, dst node, remaining-bytes
+  /// bit pattern), content only, never slots or labels — and looked up. A
+  /// hit returns the memoized bits, which the RateProvider purity contract
+  /// (flowsim/fluid_network.hpp) guarantees equal a fresh solve, so replays
+  /// stay bit-identical whatever the memo contains; a verify-mode memo
+  /// proves that on every hit by re-solving anyway. Misses solve fresh and
+  /// stage the solution for cross-query publication (sim/solve_memo.hpp).
   void compute_component_rates(int c, std::vector<double>& out) const {
     const auto& comp = components_[static_cast<size_t>(c)];
-    graph::CommGraph sub;
-    std::vector<graph::CommId> subset;
-    subset.reserve(comp.members.size());
+    const auto solve_fresh = [&](std::vector<double>& rates) {
+      graph::CommGraph sub;
+      std::vector<graph::CommId> subset;
+      subset.reserve(comp.members.size());
+      for (const size_t s : comp.members) {
+        const Transfer& tr = transfers_[s];
+        sub.add(strformat("t%zu", s), tr.src_node, tr.dst_node, tr.remaining);
+        subset.push_back(static_cast<graph::CommId>(subset.size()));
+      }
+      rates = provider_.rates(sub, subset);
+      BWS_ASSERT(rates.size() == comp.members.size(), "rate size mismatch");
+    };
+    SolveMemo* const memo = cfg_.solve_memo;
+    if (memo == nullptr) {
+      solve_fresh(out);
+      return;
+    }
+    util::StructuralHash h;
+    h.mix_u64(memo->salt());
     for (const size_t s : comp.members) {
       const Transfer& tr = transfers_[s];
-      sub.add(strformat("t%zu", s), tr.src_node, tr.dst_node, tr.remaining);
-      subset.push_back(static_cast<graph::CommId>(subset.size()));
+      h.mix_i64(tr.src_node);
+      h.mix_i64(tr.dst_node);
+      h.mix_f64(tr.remaining);
     }
-    out = provider_.rates(sub, subset);
-    BWS_ASSERT(out.size() == comp.members.size(), "rate size mismatch");
+    const uint64_t key = h.digest();
+    bool from_frozen = false;
+    if (memo->lookup(key, out, from_frozen)) {
+      BWS_CHECK(out.size() == comp.members.size(),
+                "solve memo returned a rate vector of the wrong size "
+                "(key collision or a mis-salted store)");
+      if (memo->verify()) {
+        std::vector<double> fresh;
+        solve_fresh(fresh);
+        for (size_t k = 0; k < fresh.size(); ++k) {
+          BWS_CHECK(out[k] == fresh[k],
+                    strformat("solve memo hit diverged from a fresh solve: "
+                              "component %d member %zu rate %.17g vs %.17g "
+                              "at t=%.9g",
+                              c, k, out[k], fresh[k], now()));
+        }
+      }
+      return;
+    }
+    solve_fresh(out);
+    memo->stage(key, out);
   }
 
   /// Commit phase: write one component's staged rates back into its

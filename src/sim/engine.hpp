@@ -54,6 +54,8 @@ class ThreadPool;
 
 namespace bwshare::sim {
 
+class SolveMemo;
+
 /// Rate-refresh strategy (docs/PERFORMANCE.md).
 enum class RefreshMode {
   /// Re-solve every alive component on every event, trusting none of the
@@ -118,6 +120,14 @@ struct EngineConfig {
   /// Worker count for the lazily created private pool (0 = hardware).
   /// Ignored when `solve_pool` is injected.
   int solve_threads = 0;
+  /// Cross-query component-solution memo (sim/solve_memo.hpp; not owned,
+  /// must outlive the simulation). When set, every component rate solve
+  /// first consults the memo — a hit returns the cached bits, which the
+  /// provider purity contract guarantees equal a fresh solve — and every
+  /// miss stages its solution for the owner to publish. Null (the default)
+  /// means solve fresh always; results are bit-identical either way, the
+  /// memo only changes how much work a replay does.
+  SolveMemo* solve_memo = nullptr;
 };
 
 /// One completed communication, as the simulator saw it.
@@ -174,6 +184,14 @@ struct SimResult {
   /// paper aggregates per task for the HPL evaluation, §VI-B).
   [[nodiscard]] double task_comm_time(TaskId t) const;
 };
+
+/// Exact equality over everything a replay derives: makespan, the scenario
+/// counters, and every per-comm / per-task field, compared bit for bit
+/// (no epsilon). The predicate behind the engine's mode-equivalence suites
+/// and the serving layer's conformance contract (docs/SERVING.md); the
+/// gtest twin with per-field diagnostics lives in
+/// tests/common/result_expect.hpp.
+[[nodiscard]] bool bit_identical(const SimResult& a, const SimResult& b);
 
 /// Run `trace` on `cluster` with tasks placed by `placement`, rates from
 /// `provider`. Throws bwshare::Error on deadlock or malformed traces.

@@ -168,4 +168,19 @@ std::string to_string(EventKind kind) {
   return "?";
 }
 
+AppTrace trace_from_scheme(const graph::CommGraph& scheme) {
+  AppTrace trace(scheme.num_nodes());
+  for (graph::CommId i = 0; i < scheme.size(); ++i) {
+    const auto& c = scheme.comm(i);
+    trace.push(c.dst, Event::irecv(c.src, c.bytes));
+  }
+  for (graph::CommId i = 0; i < scheme.size(); ++i) {
+    const auto& c = scheme.comm(i);
+    trace.push(c.src, Event::isend(c.dst, c.bytes));
+  }
+  for (TaskId t = 0; t < trace.num_tasks(); ++t)
+    trace.push(t, Event::wait_all());
+  return trace;
+}
+
 }  // namespace bwshare::sim

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/comm_graph.hpp"
+
 namespace bwshare::sim {
 
 using TaskId = int;
@@ -80,5 +82,13 @@ class AppTrace {
 };
 
 [[nodiscard]] std::string to_string(EventKind kind);
+
+/// Lift a static communication scheme into a one-phase trace: task i stands
+/// on node i, every communication is posted non-blocking (all receives, then
+/// all sends, in scheme order), then every task waits. All transfers start
+/// at t=0 in one event cascade, so the first flush carries the scheme's full
+/// component structure. This is how the engine-equivalence fuzz suites and
+/// the serving layer replay scheme workloads through run_simulation.
+[[nodiscard]] AppTrace trace_from_scheme(const graph::CommGraph& scheme);
 
 }  // namespace bwshare::sim

@@ -1,0 +1,52 @@
+#include "util/hash.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace bwshare::util {
+
+void StructuralHash::absorb(uint64_t w) {
+  uint64_t s = state_ ^ w;
+  state_ = splitmix64(s);
+}
+
+void StructuralHash::mix_u64(uint64_t v) { absorb(v); }
+
+void StructuralHash::mix_f64(double v) {
+  absorb(std::bit_cast<uint64_t>(v));
+}
+
+void StructuralHash::mix_str(std::string_view s) {
+  absorb(s.size());
+  for (size_t base = 0; base < s.size(); base += 8) {
+    uint64_t w = 0;
+    const size_t n = std::min<size_t>(8, s.size() - base);
+    // Explicit little-endian packing: byte i of the chunk lands in bits
+    // [8i, 8i+8), independent of the host's endianness.
+    for (size_t i = 0; i < n; ++i) {
+      w |= static_cast<uint64_t>(static_cast<unsigned char>(s[base + i]))
+           << (8 * i);
+    }
+    absorb(w);
+  }
+}
+
+uint64_t StructuralHash::digest() const {
+  uint64_t s = state_;
+  return splitmix64(s);
+}
+
+uint64_t hash_words(std::initializer_list<uint64_t> words) {
+  StructuralHash h;
+  for (const uint64_t w : words) h.mix_u64(w);
+  return h.digest();
+}
+
+std::string hash_hex(uint64_t digest) {
+  return strformat("%016llx", static_cast<unsigned long long>(digest));
+}
+
+}  // namespace bwshare::util

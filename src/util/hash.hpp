@@ -1,0 +1,71 @@
+// Structural hashing: a small order-sensitive 64-bit mixer for fingerprinting
+// in-memory values (serve query fingerprints, the engine's component-solution
+// memo keys). Not cryptographic; collision resistance is "good enough for a
+// cache key", nothing more.
+//
+// Stability contract: digests are stable within one build of the library —
+// two identical mix sequences in the same process always produce the same
+// digest, on every platform (the mixing is pure 64-bit integer arithmetic and
+// doubles are absorbed by bit pattern). Digests are NOT guaranteed stable
+// across releases: the mixing constants or framing may change in any PR, so
+// digests must never be persisted or compared across processes running
+// different builds. (docs/SERVING.md repeats this for the serve fingerprints.)
+//
+// The algorithm is deliberately simple enough to re-implement in a test
+// (tests/util/test_hash.cpp keeps an independent reference copy):
+//
+//   state starts at kSeed (0x9e3779b97f4a7c15)
+//   absorb(w):   s = state ^ w; state = splitmix64(s)   [util/rng.hpp]
+//   mix_u64(v):  absorb(v)
+//   mix_i64(v):  absorb(uint64_t(v))           // two's complement
+//   mix_f64(v):  absorb(bit pattern of v)      // NaNs/-0.0 by their bits
+//   mix_bool(v): absorb(v ? 1 : 0)
+//   mix_str(s):  absorb(s.size()), then absorb each 8-byte chunk of s packed
+//                little-endian (byte i of a chunk shifted left 8*i bits), the
+//                final partial chunk zero-padded
+//   digest():    splitmix64 of a copy of state (does not advance the state)
+//
+// Framing is the caller's responsibility: the mixer does not tag types, so
+// mix_u64(0) and mix_f64(+0.0) absorb the same word. mix_str is
+// length-prefixed, which keeps adjacent strings from sliding into each other
+// ("ab","c" vs "a","bc" differ).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace bwshare::util {
+
+class StructuralHash {
+ public:
+  /// Initial state; also the digest of an empty mix sequence's pre-image.
+  static constexpr uint64_t kSeed = 0x9e3779b97f4a7c15ULL;
+
+  void mix_u64(uint64_t v);
+  void mix_i64(int64_t v) { mix_u64(static_cast<uint64_t>(v)); }
+  /// Absorbs the IEEE-754 bit pattern: -0.0 != +0.0, every NaN by its bits.
+  /// Right for memo keys (the engine's purity contract is over bits), so
+  /// callers wanting semantic equality must canonicalize first.
+  void mix_f64(double v);
+  void mix_bool(bool v) { mix_u64(v ? 1 : 0); }
+  void mix_str(std::string_view s);
+
+  /// Final scramble of the current state; the state itself is not advanced,
+  /// so digest() can be taken mid-sequence and mixing can continue.
+  [[nodiscard]] uint64_t digest() const;
+
+ private:
+  void absorb(uint64_t w);
+
+  uint64_t state_ = kSeed;
+};
+
+/// One-shot convenience for the common "hash a few words" case.
+[[nodiscard]] uint64_t hash_words(std::initializer_list<uint64_t> words);
+
+/// Fixed-width lowercase hex of a digest, for logs and JSON responses.
+[[nodiscard]] std::string hash_hex(uint64_t digest);
+
+}  // namespace bwshare::util

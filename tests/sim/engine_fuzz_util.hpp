@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/result_expect.hpp"
 #include "graph/generator.hpp"
 #include "sim/engine.hpp"
 #include "sim/events.hpp"
@@ -21,35 +22,6 @@
 #include "util/rng.hpp"
 
 namespace bwshare::sim {
-
-/// Exact equality — the compared configurations run the same arithmetic in
-/// the same order, so every derived number must match to the last bit. Also
-/// covers the dynamic-cluster bookkeeping: abort/background flags per record
-/// and the scenario counters.
-inline void expect_bit_identical(const SimResult& a, const SimResult& b) {
-  ASSERT_EQ(a.comms.size(), b.comms.size());
-  EXPECT_EQ(a.makespan, b.makespan);
-  EXPECT_EQ(a.aborted_comms, b.aborted_comms);
-  EXPECT_EQ(a.background_comms, b.background_comms);
-  EXPECT_EQ(a.background_skipped, b.background_skipped);
-  for (size_t i = 0; i < a.comms.size(); ++i) {
-    EXPECT_EQ(a.comms[i].start, b.comms[i].start) << "comm " << i;
-    EXPECT_EQ(a.comms[i].finish, b.comms[i].finish) << "comm " << i;
-    EXPECT_EQ(a.comms[i].penalty, b.comms[i].penalty) << "comm " << i;
-    EXPECT_EQ(a.comms[i].aborted, b.comms[i].aborted) << "comm " << i;
-    EXPECT_EQ(a.comms[i].background, b.comms[i].background) << "comm " << i;
-  }
-  ASSERT_EQ(a.tasks.size(), b.tasks.size());
-  for (size_t t = 0; t < a.tasks.size(); ++t) {
-    EXPECT_EQ(a.tasks[t].finish_time, b.tasks[t].finish_time) << "task " << t;
-    EXPECT_EQ(a.tasks[t].send_blocked_seconds, b.tasks[t].send_blocked_seconds)
-        << "task " << t;
-    EXPECT_EQ(a.tasks[t].recv_blocked_seconds, b.tasks[t].recv_blocked_seconds)
-        << "task " << t;
-    EXPECT_EQ(a.tasks[t].barrier_wait_seconds, b.tasks[t].barrier_wait_seconds)
-        << "task " << t;
-  }
-}
 
 /// Staggered trace with heavy prediction churn: rounds of hotspot fan-ins
 /// (everyone funnels into a rotating sink) mixed with random pairs, eager
@@ -98,24 +70,9 @@ inline AppTrace churn_trace(uint64_t seed, int tasks) {
   return trace;
 }
 
-/// One maximally concurrent phase: every communication of the scheme is
-/// posted non-blocking, then everyone waits. All transfers start at t=0 in
-/// one event cascade, so the first flush carries the scheme's full
-/// component structure — the widest parallel batch a scheme can produce.
-inline AppTrace trace_from_scheme(const graph::CommGraph& scheme) {
-  AppTrace trace(scheme.num_nodes());
-  for (graph::CommId i = 0; i < scheme.size(); ++i) {
-    const auto& c = scheme.comm(i);
-    trace.push(c.dst, Event::irecv(c.src, c.bytes));
-  }
-  for (graph::CommId i = 0; i < scheme.size(); ++i) {
-    const auto& c = scheme.comm(i);
-    trace.push(c.src, Event::isend(c.dst, c.bytes));
-  }
-  for (TaskId t = 0; t < trace.num_tasks(); ++t)
-    trace.push(t, Event::wait_all());
-  return trace;
-}
+// (trace_from_scheme used to live here; it is library code now —
+// sim/events.hpp — because the serving layer lifts scheme queries through
+// the same one-phase expansion.)
 
 inline Placement identity_placement(int n) {
   std::vector<topo::NodeId> nodes(static_cast<size_t>(n));

@@ -1,0 +1,228 @@
+// util::StructuralHash — the mixer under the serve fingerprints and the
+// engine's component-solution memo keys.
+//
+// The core test is an independent reference implementation (written from
+// the algorithm description in util/hash.hpp, not by calling the library):
+// a property fuzz drives both through random mix sequences and demands
+// equal digests. That pins the algorithm itself — a "refactor" that changes
+// the framing or constants fails here even if it is internally consistent.
+// Stability across *releases* is deliberately NOT pinned: the documented
+// contract is stability within one build only, digests must never be
+// persisted (util/hash.hpp, docs/SERVING.md).
+#include "util/hash.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bwshare::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference implementation, independent of the library code. Mirrors the
+// spec in util/hash.hpp: state starts at the golden-ratio seed; absorb(w)
+// xors and runs one splitmix64 step; strings are length-prefixed and packed
+// into little-endian 8-byte chunks; digest is a non-advancing final step.
+
+uint64_t ref_splitmix64_step(uint64_t s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct RefHash {
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+
+  void absorb(uint64_t w) { state = ref_splitmix64_step(state ^ w); }
+
+  void str(const std::string& s) {
+    absorb(s.size());
+    for (size_t base = 0; base < s.size(); base += 8) {
+      uint64_t w = 0;
+      for (size_t i = 0; i < 8 && base + i < s.size(); ++i) {
+        w |= static_cast<uint64_t>(static_cast<unsigned char>(s[base + i]))
+             << (8 * i);
+      }
+      absorb(w);
+    }
+  }
+
+  [[nodiscard]] uint64_t digest() const {
+    return ref_splitmix64_step(state);
+  }
+};
+
+uint64_t f64_bits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(StructuralHash, MatchesReferenceOnHandBuiltSequence) {
+  StructuralHash h;
+  RefHash ref;
+  h.mix_str("bwshare.serve.query.v1");
+  ref.str("bwshare.serve.query.v1");
+  h.mix_u64(42);
+  ref.absorb(42);
+  h.mix_i64(-7);
+  ref.absorb(static_cast<uint64_t>(int64_t{-7}));
+  h.mix_f64(3.5);
+  ref.absorb(f64_bits(3.5));
+  h.mix_bool(true);
+  ref.absorb(1);
+  h.mix_bool(false);
+  ref.absorb(0);
+  EXPECT_EQ(h.digest(), ref.digest());
+}
+
+// The property fuzz: random interleavings of every mix kind, including
+// awkward strings (empty, exactly 8 bytes, embedded NULs, >8 bytes) and
+// awkward doubles (zeros, infinities, denormals).
+TEST(StructuralHash, MatchesReferenceUnderFuzz) {
+  Rng rng(20260808);
+  const double specials[] = {0.0,
+                             -0.0,
+                             1.0,
+                             -1.0,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max()};
+  for (int round = 0; round < 200; ++round) {
+    StructuralHash h;
+    RefHash ref;
+    const int ops = 1 + static_cast<int>(rng.below(24));
+    for (int op = 0; op < ops; ++op) {
+      switch (rng.below(5)) {
+        case 0: {
+          const uint64_t v = rng();
+          h.mix_u64(v);
+          ref.absorb(v);
+          break;
+        }
+        case 1: {
+          const auto v = static_cast<int64_t>(rng());
+          h.mix_i64(v);
+          ref.absorb(static_cast<uint64_t>(v));
+          break;
+        }
+        case 2: {
+          const double v = rng.uniform() < 0.3
+                               ? specials[rng.below(8)]
+                               : rng.uniform(-1e9, 1e9);
+          h.mix_f64(v);
+          ref.absorb(f64_bits(v));
+          break;
+        }
+        case 3: {
+          const bool v = rng.below(2) == 1;
+          h.mix_bool(v);
+          ref.absorb(v ? 1 : 0);
+          break;
+        }
+        default: {
+          std::string s;
+          const size_t len = rng.below(21);  // crosses the 8-byte chunking
+          for (size_t i = 0; i < len; ++i) {
+            s.push_back(static_cast<char>(rng.below(256)));  // NULs included
+          }
+          h.mix_str(s);
+          ref.str(s);
+          break;
+        }
+      }
+      // Mid-sequence digests must agree too (digest is non-advancing).
+      ASSERT_EQ(h.digest(), ref.digest()) << "round " << round;
+    }
+  }
+}
+
+TEST(StructuralHash, DigestDoesNotAdvanceState) {
+  StructuralHash h;
+  h.mix_u64(1);
+  const uint64_t d1 = h.digest();
+  EXPECT_EQ(h.digest(), d1);  // repeated digests identical
+  h.mix_u64(2);
+  StructuralHash straight;
+  straight.mix_u64(1);
+  straight.mix_u64(2);
+  // Taking a digest in between must not change the final digest.
+  EXPECT_EQ(h.digest(), straight.digest());
+}
+
+TEST(StructuralHash, OrderAndValueSensitivity) {
+  StructuralHash ab;
+  ab.mix_u64(1);
+  ab.mix_u64(2);
+  StructuralHash ba;
+  ba.mix_u64(2);
+  ba.mix_u64(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+
+  StructuralHash x;
+  x.mix_u64(1);
+  StructuralHash y;
+  y.mix_u64(1);
+  y.mix_u64(0);
+  EXPECT_NE(x.digest(), y.digest());  // absorbing zero is not a no-op
+}
+
+TEST(StructuralHash, StringFramingIsLengthPrefixed) {
+  StructuralHash split;
+  split.mix_str("ab");
+  split.mix_str("c");
+  StructuralHash joined;
+  joined.mix_str("a");
+  joined.mix_str("bc");
+  EXPECT_NE(split.digest(), joined.digest());
+
+  StructuralHash empty;
+  empty.mix_str("");
+  StructuralHash nothing;
+  EXPECT_NE(empty.digest(), nothing.digest());  // "" absorbs its length
+}
+
+TEST(StructuralHash, DoublesHashByBitPattern) {
+  StructuralHash pos;
+  pos.mix_f64(0.0);
+  StructuralHash neg;
+  neg.mix_f64(-0.0);
+  EXPECT_NE(pos.digest(), neg.digest());
+
+  // No type tagging (documented): mix_u64 of the bit pattern is the same
+  // absorption. Callers frame with salts/markers, not the mixer.
+  StructuralHash as_f64;
+  as_f64.mix_f64(1.5);
+  StructuralHash as_u64;
+  as_u64.mix_u64(f64_bits(1.5));
+  EXPECT_EQ(as_f64.digest(), as_u64.digest());
+}
+
+TEST(StructuralHash, HashWordsMatchesManualSequence) {
+  StructuralHash h;
+  h.mix_u64(3);
+  h.mix_u64(5);
+  h.mix_u64(7);
+  EXPECT_EQ(hash_words({3, 5, 7}), h.digest());
+}
+
+TEST(StructuralHash, HexIsFixedWidthLowercase) {
+  EXPECT_EQ(hash_hex(0), "0000000000000000");
+  EXPECT_EQ(hash_hex(0xDEADBEEFULL), "00000000deadbeef");
+  EXPECT_EQ(hash_hex(std::numeric_limits<uint64_t>::max()),
+            "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace bwshare::util
