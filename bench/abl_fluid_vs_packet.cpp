@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
         const double ratio = packet[static_cast<size_t>(i)] /
                              fluid[static_cast<size_t>(i)];
         agreement.add(ratio);
-        table.add_row({c.name, c.g.comm(i).label,
+        table.add_row({c.name, std::string(c.g.label(i)),
                        strformat("%.2f", fluid[static_cast<size_t>(i)]),
                        strformat("%.2f", packet[static_cast<size_t>(i)]),
                        strformat("%.3f", ratio)});

@@ -19,11 +19,18 @@
 // incremental/parallel solver under membership events instead of assuming
 // the static-cluster numbers transfer.
 //
-// Emits BENCH_engine.json (schema_version 4, docs/PERFORMANCE.md) so the
+// Emits BENCH_engine.json (schema_version 5, docs/PERFORMANCE.md) so the
 // repo keeps a machine-readable perf trajectory: one row per
 // provider x node count x churn rate x queue mode x solve mode, each
 // echoing the RNG seed, the refresh mode and the thread count it measured
-// so a baseline is reproducible from the file alone. Node counts above --max-full-nodes run
+// so a baseline is reproducible from the file alone. Serial rows also carry
+// allocation counters (util::alloc_count()): alloc_total over the timed
+// replay, and alloc_per_event — the allocation count delta between the
+// R-round replay and a warmed 1-round twin, divided by the completed-comm
+// delta. With the fluid provider the steady-state event loop is
+// allocation-free, so the per-event figure must stay ~0 (CI gates it);
+// model providers (gige) go through the allocating rates() fallback and are
+// reported but exempt. Node counts above --max-full-nodes run
 // the incremental path only (the full solve becomes quadratic-plus and
 // would dominate the bench's wall time); their full_ms/speedup fields are
 // null. Scan rows stop above --max-scan-nodes (the per-event scans are
@@ -51,6 +58,7 @@
 #include "sim/rate_model.hpp"
 #include "sim/schedule.hpp"
 #include "topo/cluster.hpp"
+#include "util/alloc_counter.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -87,6 +95,7 @@ sim::AppTrace sparse_matching_trace(int nodes, int rounds, double bytes,
 
 struct Run {
   double wall_ms = 0.0;
+  uint64_t allocs = 0;  // global operator-new count during the replay
   sim::SimResult result;
 };
 
@@ -98,6 +107,7 @@ Run timed_run(const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
               sim::SolveMode solve = sim::SolveMode::kSerial,
               util::ThreadPool* pool = nullptr) {
   Run out;
+  const uint64_t allocs0 = util::alloc_count();
   const auto t0 = std::chrono::steady_clock::now();
   sim::EngineConfig cfg;
   cfg.refresh = mode;
@@ -107,6 +117,7 @@ Run timed_run(const sim::AppTrace& trace, const topo::ClusterSpec& cluster,
   out.result =
       sim::run_simulation(trace, cluster, placement, provider, scenario, cfg);
   const auto t1 = std::chrono::steady_clock::now();
+  out.allocs = util::alloc_count() - allocs0;
   out.wall_ms =
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
           t1 - t0)
@@ -259,14 +270,18 @@ int main(int argc, char** argv) {
     double queue_rel_err = -1.0;     // scan vs heap twin; < 0 -> null
     double solve_rel_err = -1.0;     // parallel vs serial twin; < 0 -> null
     double solve_speedup = -1.0;     // serial_ms / parallel_ms; < 0 -> null
+    double alloc_total = -1.0;       // operator-new count; < 0 -> null
+    double alloc_per_event = -1.0;   // steady-state allocs/comm; < 0 -> null
     bool crosscheck = false;
   };
 
   std::printf(
-      "%-8s %-7s %-6s %-5s %-8s %10s %14s %9s %12s %13s %13s %13s  %s\n",
+      "%-8s %-7s %-6s %-5s %-8s %10s %14s %9s %12s %13s %13s %13s %11s %8s"
+      "  %s\n",
       "provider", "nodes", "churn", "queue", "solve", "full_ms",
       "incremental_ms", "speedup", "max_rel_err", "queue_rel_err",
-      "solve_rel_err", "solve_speedup", "crosscheck");
+      "solve_rel_err", "solve_speedup", "alloc_total", "alloc/ev",
+      "crosscheck");
   for (const auto& pname : provider_names) {
     const flowsim::FluidRateProvider fluid(cal);
     std::shared_ptr<const models::PenaltyModel> model;
@@ -283,6 +298,10 @@ int main(int argc, char** argv) {
     for (const int n : sizes) {
       BWS_CHECK(n >= 2, "node counts must be at least 2");
       const auto trace = sparse_matching_trace(n, rounds, bytes, seed);
+      // One-round twin of the same schedule: the (R-round - 1-round)
+      // allocation delta cancels per-replay setup costs (engine state,
+      // scratch growth), leaving the steady-state per-event count.
+      const auto trace1 = sparse_matching_trace(n, 1, bytes, seed);
       const auto cluster = topo::ClusterSpec::uniform("bench", n, 1, cal);
       const auto placement = sim::make_placement(
           sim::SchedulingPolicy::kRoundRobinNode, cluster, n);
@@ -326,7 +345,15 @@ int main(int argc, char** argv) {
                                       const char* queue_name,
                                       const Run* heap_serial) -> Run {
         Run serial;
+        Run one;
         if (with_serial || with_parallel) {
+          // Warm the thread-local solve scratch/arena, then measure the
+          // 1-round twin so both it and the R-round replay below run warm —
+          // their allocation delta is then pure steady-state work.
+          (void)timed_run(trace1, cluster, placement, *provider, scenario,
+                          sim::RefreshMode::kIncremental, queue);
+          one = timed_run(trace1, cluster, placement, *provider, scenario,
+                          sim::RefreshMode::kIncremental, queue);
           // The serial run doubles as the parallel rows' oracle baseline,
           // so it runs whenever any solve mode is requested.
           serial = timed_run(trace, cluster, placement, *provider, scenario,
@@ -341,6 +368,15 @@ int main(int argc, char** argv) {
           row.aborted = serial.result.aborted_comms;
           row.makespan = serial.result.makespan;
           row.incremental_ms = serial.wall_ms;
+          row.alloc_total = static_cast<double>(serial.allocs);
+          const double comm_delta =
+              static_cast<double>(serial.result.comms.size()) -
+              static_cast<double>(one.result.comms.size());
+          if (comm_delta > 0.0)
+            row.alloc_per_event =
+                (static_cast<double>(serial.allocs) -
+                 static_cast<double>(one.allocs)) /
+                comm_delta;
           if (heap_serial != nullptr) {
             // The two selection strategies run identical arithmetic in an
             // identical order: completion times must be bit-identical.
@@ -397,7 +433,7 @@ int main(int argc, char** argv) {
         const bool has_full = row.full_ms >= 0.0;
         std::printf(
             "%-8s %-7d %-6s %-5s %-8s %10s %14.3f %9s %12s %13s %13s %13s"
-            "  %s\n",
+            " %11s %8s  %s\n",
             pname.c_str(), n, strformat("%g", row.churn).c_str(), row.queue,
             row.solve,
             has_full ? strformat("%.3f", row.full_ms).c_str() : "-",
@@ -413,6 +449,12 @@ int main(int argc, char** argv) {
             row.solve_speedup >= 0.0
                 ? strformat("%.2fx", row.solve_speedup).c_str()
                 : "-",
+            row.alloc_total >= 0.0
+                ? strformat("%.0f", row.alloc_total).c_str()
+                : "-",
+            row.alloc_per_event >= 0.0
+                ? strformat("%.3g", row.alloc_per_event).c_str()
+                : "-",
             row.crosscheck ? "ok" : "skipped");
         std::fflush(stdout);
 
@@ -426,6 +468,7 @@ int main(int argc, char** argv) {
             "\"makespan\": %s, \"full_ms\": %s, \"incremental_ms\": %s, "
             "\"speedup\": %s, \"max_rel_err\": %s, \"queue_rel_err\": %s, "
             "\"solve_rel_err\": %s, \"solve_speedup\": %s, "
+            "\"alloc_total\": %s, \"alloc_per_event\": %s, "
             "\"crosscheck\": %s}",
             pname.c_str(), n, n / 2, rounds,
             static_cast<unsigned long long>(seed),
@@ -442,6 +485,10 @@ int main(int argc, char** argv) {
                                      : "null",
             row.solve_speedup >= 0.0 ? json_num(row.solve_speedup).c_str()
                                      : "null",
+            row.alloc_total >= 0.0 ? json_num(row.alloc_total).c_str()
+                                   : "null",
+            row.alloc_per_event >= 0.0 ? json_num(row.alloc_per_event).c_str()
+                                       : "null",
             row.crosscheck ? "true" : "false");
       }
     }
@@ -469,7 +516,7 @@ int main(int argc, char** argv) {
     solves_json += solves_json.empty() ? "\"parallel\"" : ", \"parallel\"";
 
   const std::string json = strformat(
-      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 4,\n"
+      "{\n  \"bench\": \"engine_scaling\",\n  \"schema_version\": 5,\n"
       "  \"config\": {\"rounds\": %d, \"bytes\": %s, \"seed\": %llu, "
       "\"max_full_nodes\": %ld, \"max_scan_nodes\": %ld, \"nodes\": [%s], "
       "\"churn\": [%s], "

@@ -76,8 +76,9 @@ int main(int argc, char** argv) {
 
     for (graph::CommId i = 0; i < g.size(); ++i) {
       const auto& c = g.comm(i);
-      const auto& paper_row = kPaper.at(scheme).at(c.label);
-      table.add_row({c.label, strformat("%d->%d", c.src, c.dst),
+      const std::string label(g.label(i));
+      const auto& paper_row = kPaper.at(scheme).at(label);
+      table.add_row({label, strformat("%d->%d", c.src, c.dst),
                      strformat("%.2f", penalties[0][static_cast<size_t>(i)]),
                      strformat("%.2f", paper_row[0]),
                      strformat("%.2f", penalties[1][static_cast<size_t>(i)]),

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
   TextTable verify({"comm", "T_m [s]", "T_p [s]", "E_rel [%]",
                     "paper T_m", "paper T_p"});
   for (graph::CommId i = 0; i < scheme.size(); ++i) {
-    verify.add_row({scheme.comm(i).label,
+    verify.add_row({std::string(scheme.label(i)),
                     strformat("%.4f", cmp.measured[static_cast<size_t>(i)]),
                     strformat("%.4f", cmp.predicted[static_cast<size_t>(i)]),
                     strformat("%+.1f", cmp.erel[static_cast<size_t>(i)]),

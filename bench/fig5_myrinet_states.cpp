@@ -20,14 +20,16 @@ int main(int argc, char** argv) {
   const auto analysis = model.analyze(g, /*materialize_sets=*/true);
 
   std::cout << "  Graph: ";
-  for (const auto& c : g.comms())
-    std::cout << c.label << ":" << c.src << "->" << c.dst << "  ";
+  for (graph::CommId i = 0; i < g.size(); ++i) {
+    const auto& c = g.comm(i);
+    std::cout << g.label(i) << ":" << c.src << "->" << c.dst << "  ";
+  }
   std::cout << "\n\n  State sets (communications in 'send'):\n";
   for (size_t s = 0; s < analysis.state_sets.size(); ++s) {
     std::cout << "    " << (s + 1) << ": {";
     for (size_t k = 0; k < analysis.state_sets[s].size(); ++k) {
       if (k) std::cout << ", ";
-      std::cout << g.comm(analysis.state_sets[s][k]).label;
+      std::cout << g.label(analysis.state_sets[s][k]);
     }
     std::cout << "}\n";
   }

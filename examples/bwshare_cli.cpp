@@ -203,7 +203,8 @@ int run_scheme(const CliArgs& args, const std::string& path) {
   TextTable table({"comm", "arc", "T_m [s]", "T_p [s]", "E_rel [%]"});
   for (graph::CommId i = 0; i < parsed.graph.size(); ++i) {
     const auto& c = parsed.graph.comm(i);
-    table.add_row({c.label, strformat("%d->%d", c.src, c.dst),
+    table.add_row({std::string(parsed.graph.label(i)),
+                   strformat("%d->%d", c.src, c.dst),
                    strformat("%.4f", cmp.measured[static_cast<size_t>(i)]),
                    strformat("%.4f", cmp.predicted[static_cast<size_t>(i)]),
                    strformat("%+.1f", cmp.erel[static_cast<size_t>(i)])});

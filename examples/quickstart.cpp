@@ -39,7 +39,7 @@ int main() {
                    "Myrinet sim"});
   for (graph::CommId i = 0; i < scheme.size(); ++i) {
     const auto k = static_cast<size_t>(i);
-    table.add_row({scheme.comm(i).label, strformat("%.2f", p_gige[k]),
+    table.add_row({std::string(scheme.label(i)), strformat("%.2f", p_gige[k]),
                    strformat("%.2f", m_gige[k]), strformat("%.2f", p_myri[k]),
                    strformat("%.2f", m_myri[k])});
   }

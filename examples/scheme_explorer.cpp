@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
                    "conflict", strformat("penalty (%s)", model->name().c_str())});
   for (graph::CommId i = 0; i < g.size(); ++i) {
     const auto& c = g.comm(i);
-    table.add_row({c.label, strformat("%d->%d", c.src, c.dst),
+    table.add_row({std::string(g.label(i)), strformat("%d->%d", c.src, c.dst),
                    human_bytes(c.bytes), strformat("%d", g.delta_o(i)),
                    strformat("%d", g.delta_i(i)),
                    to_string(conflicts[static_cast<size_t>(i)].dominant()),
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   if (args.get_bool("dot", false)) {
     std::map<std::string, std::string> notes;
     for (graph::CommId i = 0; i < g.size(); ++i)
-      notes[g.comm(i).label] =
+      notes[std::string(g.label(i))] =
           strformat("p=%.2f", penalties[static_cast<size_t>(i)]);
     std::cout << "\n" << graph::to_dot(g, notes);
   }

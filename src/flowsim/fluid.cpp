@@ -8,7 +8,8 @@
 
 namespace bwshare::flowsim {
 
-std::vector<double> max_min_rates(const AllocationProblem& problem) {
+void max_min_rates_into(const AllocationProblemView& problem,
+                        util::Arena& scratch, std::span<double> out) {
   const int n = problem.num_flows;
   BWS_CHECK(n >= 0, "num_flows must be non-negative");
   BWS_CHECK(problem.weights.empty() ||
@@ -17,9 +18,16 @@ std::vector<double> max_min_rates(const AllocationProblem& problem) {
   BWS_CHECK(problem.caps.empty() ||
                 problem.caps.size() == static_cast<size_t>(n),
             "caps must be empty or one per flow");
+  BWS_CHECK(out.size() == static_cast<size_t>(n),
+            "output span must have one slot per flow");
 
-  std::vector<double> weights(static_cast<size_t>(n), 1.0);
-  if (!problem.weights.empty()) weights = problem.weights;
+  util::Arena::Frame frame(scratch);
+  std::span<double> weights = scratch.make_span_uninit<double>(
+      static_cast<size_t>(n));
+  if (problem.weights.empty())
+    std::fill(weights.begin(), weights.end(), 1.0);
+  else
+    std::copy(problem.weights.begin(), problem.weights.end(), weights.begin());
   for (double w : weights) BWS_CHECK(w > 0.0, "flow weights must be positive");
 
   for (const auto& r : problem.resources) {
@@ -29,10 +37,11 @@ std::vector<double> max_min_rates(const AllocationProblem& problem) {
                 strformat("resource member %d out of range [0,%d)", f, n));
   }
 
-  std::vector<double> rates(static_cast<size_t>(n), 0.0);
-  std::vector<bool> frozen(static_cast<size_t>(n), false);
-  std::vector<bool> saturated(problem.resources.size(), false);
-  if (n == 0) return rates;
+  std::span<double> rates = out;
+  std::fill(rates.begin(), rates.end(), 0.0);
+  std::span<char> frozen = scratch.make_span<char>(static_cast<size_t>(n));
+  std::span<char> saturated = scratch.make_span<char>(problem.resources.size());
+  if (n == 0) return;
 
   // Progressive filling: unfrozen flow f has rate w_f * t. In each round,
   // find the constraint that saturates at the smallest t.
@@ -120,6 +129,21 @@ std::vector<double> max_min_rates(const AllocationProblem& problem) {
       }
     }
   }
+}
+
+std::vector<double> max_min_rates(const AllocationProblem& problem) {
+  std::vector<ResourceView> resources;
+  resources.reserve(problem.resources.size());
+  for (const auto& r : problem.resources)
+    resources.push_back({r.capacity, r.members});
+  AllocationProblemView view;
+  view.num_flows = problem.num_flows;
+  view.weights = problem.weights;
+  view.caps = problem.caps;
+  view.resources = resources;
+  std::vector<double> rates(
+      static_cast<size_t>(std::max(problem.num_flows, 0)), 0.0);
+  max_min_rates_into(view, util::Arena::thread_local_instance(), rates);
   return rates;
 }
 

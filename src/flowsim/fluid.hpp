@@ -11,7 +11,10 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
+
+#include "util/arena.hpp"
 
 namespace bwshare::flowsim {
 
@@ -33,6 +36,21 @@ struct AllocationProblem {
   std::vector<Resource> resources;
 };
 
+/// Non-owning view forms of Resource/AllocationProblem for the allocation-
+/// free hot path: callers build the spans in a util::Arena (or any storage
+/// outliving the solve) and max_min_rates_into writes rates in place.
+struct ResourceView {
+  double capacity = 0.0;
+  std::span<const FlowIndex> members;
+};
+
+struct AllocationProblemView {
+  int num_flows = 0;
+  std::span<const double> weights;  // empty or one per flow (default 1)
+  std::span<const double> caps;     // empty or one per flow, <= 0 for none
+  std::span<const ResourceView> resources;
+};
+
 /// Weighted max-min fair rates, bytes/s per flow.
 /// Throws bwshare::Error on malformed problems (negative capacity, members
 /// out of range). Flows not covered by any finite constraint get rate
@@ -40,5 +58,12 @@ struct AllocationProblem {
 /// uncapped.
 [[nodiscard]] std::vector<double> max_min_rates(
     const AllocationProblem& problem);
+
+/// View-based core of max_min_rates: writes the allocation into `out`
+/// (size == num_flows) using `scratch` for transient state, touching the
+/// global allocator only if the arena has to grow. Bit-identical to
+/// max_min_rates on the same problem — the vector API is a wrapper over this.
+void max_min_rates_into(const AllocationProblemView& problem,
+                        util::Arena& scratch, std::span<double> out);
 
 }  // namespace bwshare::flowsim

@@ -24,6 +24,16 @@ std::vector<double> RateProvider::rates(
   return out;
 }
 
+void RateProvider::rates_into(const graph::CommGraph& active,
+                              util::Arena& /*scratch*/,
+                              std::span<double> out) const {
+  // Safe default: the allocating full solve, copied out. Providers on the
+  // engine's hot path override this with an arena-native implementation.
+  const auto all = rates(active);
+  BWS_CHECK(out.size() == all.size(), "rates_into output span size mismatch");
+  std::copy(all.begin(), all.end(), out.begin());
+}
+
 std::vector<int> RateProvider::coupling_keys(topo::NodeId /*src*/,
                                              topo::NodeId /*dst*/) const {
   return {};
@@ -41,40 +51,110 @@ std::vector<graph::CommId> RateProvider::coupling_closure(
     const graph::CommGraph& active,
     std::span<const graph::CommId> subset) const {
   const int n = active.size();
-  std::unordered_map<topo::NodeId, std::vector<graph::CommId>> at_node;
-  std::unordered_map<int, std::vector<graph::CommId>> at_key;
-  std::vector<std::vector<int>> keys(static_cast<size_t>(n));
+  util::Arena& arena = util::Arena::thread_local_instance();
+  util::Arena::Frame frame(arena);
+
+  // Node incidence as sorted-bucket arrays in the arena (the former
+  // unordered_map<NodeId, vector> table). Intra-node comms contribute their
+  // node once, matching the previous dedup of src == dst.
+  auto node_buf =
+      arena.make_span_uninit<topo::NodeId>(2 * static_cast<size_t>(n));
+  size_t nn = 0;
   for (graph::CommId i = 0; i < n; ++i) {
     const auto& c = active.comm(i);
-    at_node[c.src].push_back(i);
-    if (c.dst != c.src) at_node[c.dst].push_back(i);
-    keys[static_cast<size_t>(i)] = coupling_keys(c.src, c.dst);
-    for (const int k : keys[static_cast<size_t>(i)]) at_key[k].push_back(i);
+    node_buf[nn++] = c.src;
+    if (c.dst != c.src) node_buf[nn++] = c.dst;
+  }
+  std::sort(node_buf.begin(), node_buf.begin() + nn);
+  const size_t m = static_cast<size_t>(
+      std::unique(node_buf.begin(), node_buf.begin() + nn) - node_buf.begin());
+  const auto nodes = node_buf.first(m);
+  const auto node_idx = [&](topo::NodeId v) {
+    return static_cast<size_t>(
+        std::lower_bound(nodes.begin(), nodes.end(), v) - nodes.begin());
+  };
+  auto node_off = arena.make_span<int>(m + 1);
+  for (graph::CommId i = 0; i < n; ++i) {
+    const auto& c = active.comm(i);
+    ++node_off[node_idx(c.src) + 1];
+    if (c.dst != c.src) ++node_off[node_idx(c.dst) + 1];
+  }
+  for (size_t k = 0; k < m; ++k) node_off[k + 1] += node_off[k];
+  auto at_node = arena.make_span_uninit<graph::CommId>(nn);
+  {
+    auto cur = arena.make_span_uninit<int>(m);
+    std::copy(node_off.begin(), node_off.begin() + static_cast<long>(m),
+              cur.begin());
+    for (graph::CommId i = 0; i < n; ++i) {
+      const auto& c = active.comm(i);
+      at_node[static_cast<size_t>(cur[node_idx(c.src)]++)] = i;
+      if (c.dst != c.src)
+        at_node[static_cast<size_t>(cur[node_idx(c.dst)]++)] = i;
+    }
   }
 
-  std::vector<char> in(static_cast<size_t>(n), 0);
-  std::vector<graph::CommId> stack;
+  // Per-comm coupling keys, flattened. coupling_keys is a virtual returning
+  // a vector — the one allocation this path keeps; the incidence table over
+  // the keys is arena-backed (sorted (key, comm) pairs, grouped by key).
+  struct KeyUse {
+    int key;
+    graph::CommId comm;
+    bool operator<(const KeyUse& o) const {
+      return key != o.key ? key < o.key : comm < o.comm;
+    }
+  };
+  std::vector<KeyUse> key_uses;
+  auto key_off = arena.make_span<int>(static_cast<size_t>(n) + 1);
+  for (graph::CommId i = 0; i < n; ++i) {
+    const auto& c = active.comm(i);
+    for (const int k : coupling_keys(c.src, c.dst))
+      key_uses.push_back({k, i});
+    key_off[static_cast<size_t>(i) + 1] = static_cast<int>(key_uses.size());
+  }
+  // key_uses is in comm order here: [key_off[i], key_off[i+1]) are comm i's
+  // keys. Keep that view and sort an arena copy into key-grouped order.
+  auto by_key = arena.make_span_uninit<KeyUse>(key_uses.size());
+  std::copy(key_uses.begin(), key_uses.end(), by_key.begin());
+  std::sort(by_key.begin(), by_key.end());
+  const auto key_bucket = [&](int key) {
+    const auto lo = std::lower_bound(
+        by_key.begin(), by_key.end(),
+        KeyUse{key, std::numeric_limits<graph::CommId>::min()});
+    auto hi = lo;
+    while (hi != by_key.end() && hi->key == key) ++hi;
+    return std::span<const KeyUse>{lo, hi};
+  };
+
+  auto in = arena.make_span<char>(static_cast<size_t>(n));
+  auto stack = arena.make_span_uninit<graph::CommId>(static_cast<size_t>(n));
+  size_t top = 0;
   for (const graph::CommId id : subset) {
     BWS_CHECK(id >= 0 && id < n, "subset comm id out of range");
     if (!in[static_cast<size_t>(id)]) {
       in[static_cast<size_t>(id)] = 1;
-      stack.push_back(id);
+      stack[top++] = id;
     }
   }
-  while (!stack.empty()) {
-    const graph::CommId i = stack.back();
-    stack.pop_back();
-    const auto visit = [&](const std::vector<graph::CommId>& coupled) {
-      for (const graph::CommId j : coupled) {
-        if (in[static_cast<size_t>(j)]) continue;
-        in[static_cast<size_t>(j)] = 1;
-        stack.push_back(j);
-      }
+  while (top > 0) {
+    const graph::CommId i = stack[--top];
+    const auto visit = [&](graph::CommId j) {
+      if (in[static_cast<size_t>(j)]) return;
+      in[static_cast<size_t>(j)] = 1;
+      stack[top++] = j;
     };
     const auto& c = active.comm(i);
-    visit(at_node.at(c.src));
-    if (c.dst != c.src) visit(at_node.at(c.dst));
-    for (const int k : keys[static_cast<size_t>(i)]) visit(at_key.at(k));
+    const size_t s = node_idx(c.src);
+    for (int p = node_off[s]; p < node_off[s + 1]; ++p)
+      visit(at_node[static_cast<size_t>(p)]);
+    if (c.dst != c.src) {
+      const size_t d = node_idx(c.dst);
+      for (int p = node_off[d]; p < node_off[d + 1]; ++p)
+        visit(at_node[static_cast<size_t>(p)]);
+    }
+    for (int p = key_off[static_cast<size_t>(i)];
+         p < key_off[static_cast<size_t>(i) + 1]; ++p)
+      for (const KeyUse& u : key_bucket(key_uses[static_cast<size_t>(p)].key))
+        visit(u.comm);
   }
 
   std::vector<graph::CommId> closed;
@@ -187,8 +267,211 @@ AllocationProblem FluidRateProvider::build_problem(
 
 std::vector<double> FluidRateProvider::rates(
     const graph::CommGraph& active) const {
-  if (active.empty()) return {};
-  return max_min_rates(build_problem(active));
+  std::vector<double> out(static_cast<size_t>(active.size()), 0.0);
+  rates_into(active, util::Arena::thread_local_instance(), out);
+  return out;
+}
+
+void FluidRateProvider::rates_into(const graph::CommGraph& active,
+                                   util::Arena& scratch,
+                                   std::span<double> out) const {
+  const int n = active.size();
+  BWS_CHECK(out.size() == static_cast<size_t>(n),
+            "rates_into output span size mismatch");
+  if (n == 0) return;
+  util::Arena::Frame frame(scratch);
+  const double link = cal_.link_bandwidth;
+
+  auto weights = scratch.make_span_uninit<double>(static_cast<size_t>(n));
+  std::fill(weights.begin(), weights.end(), 1.0);
+  auto caps = scratch.make_span_uninit<double>(static_cast<size_t>(n));
+  auto intra = scratch.make_span_uninit<char>(static_cast<size_t>(n));
+
+  // Sorted-unique endpoint node table — the arena stand-in for the three
+  // std::map<NodeId, vector<FlowIndex>> incidence maps of build_problem().
+  // Iterating node indices ascending reproduces the maps' ascending-key
+  // order exactly, which pins the resource ordering (and thus bitwise
+  // results) to the vector path.
+  auto node_buf =
+      scratch.make_span_uninit<topo::NodeId>(2 * static_cast<size_t>(n));
+  size_t nn = 0;
+  for (graph::CommId i = 0; i < n; ++i) {
+    const auto& c = active.comm(i);
+    intra[static_cast<size_t>(i)] = active.is_intra_node(i) ? 1 : 0;
+    if (intra[static_cast<size_t>(i)]) {
+      caps[static_cast<size_t>(i)] = cal_.shm_bandwidth;
+      node_buf[nn++] = c.src;
+    } else {
+      caps[static_cast<size_t>(i)] = link * cal_.single_stream_efficiency;
+      node_buf[nn++] = c.src;
+      node_buf[nn++] = c.dst;
+    }
+  }
+  std::sort(node_buf.begin(), node_buf.begin() + nn);
+  const size_t m = static_cast<size_t>(
+      std::unique(node_buf.begin(), node_buf.begin() + nn) - node_buf.begin());
+  const auto nodes = node_buf.first(m);
+  const auto node_idx = [&](topo::NodeId v) {
+    return static_cast<size_t>(
+        std::lower_bound(nodes.begin(), nodes.end(), v) - nodes.begin());
+  };
+
+  // Per-node member buckets (counts -> prefix offsets -> fill in comm order,
+  // matching the push_back order of the map-based construction).
+  auto tx_n = scratch.make_span<int>(m);
+  auto rx_n = scratch.make_span<int>(m);
+  auto shm_n = scratch.make_span<int>(m);
+  for (graph::CommId i = 0; i < n; ++i) {
+    const auto& c = active.comm(i);
+    if (intra[static_cast<size_t>(i)]) {
+      ++shm_n[node_idx(c.src)];
+    } else {
+      ++tx_n[node_idx(c.src)];
+      ++rx_n[node_idx(c.dst)];
+    }
+  }
+  auto tx_off = scratch.make_span_uninit<int>(m + 1);
+  auto rx_off = scratch.make_span_uninit<int>(m + 1);
+  auto shm_off = scratch.make_span_uninit<int>(m + 1);
+  tx_off[0] = rx_off[0] = shm_off[0] = 0;
+  for (size_t k = 0; k < m; ++k) {
+    tx_off[k + 1] = tx_off[k] + tx_n[k];
+    rx_off[k + 1] = rx_off[k] + rx_n[k];
+    shm_off[k + 1] = shm_off[k] + shm_n[k];
+  }
+  auto tx_members =
+      scratch.make_span_uninit<FlowIndex>(static_cast<size_t>(tx_off[m]));
+  auto rx_members =
+      scratch.make_span_uninit<FlowIndex>(static_cast<size_t>(rx_off[m]));
+  auto shm_members =
+      scratch.make_span_uninit<FlowIndex>(static_cast<size_t>(shm_off[m]));
+  {
+    auto tx_cur = scratch.make_span_uninit<int>(m);
+    auto rx_cur = scratch.make_span_uninit<int>(m);
+    auto shm_cur = scratch.make_span_uninit<int>(m);
+    std::copy(tx_off.begin(), tx_off.begin() + static_cast<long>(m),
+              tx_cur.begin());
+    std::copy(rx_off.begin(), rx_off.begin() + static_cast<long>(m),
+              rx_cur.begin());
+    std::copy(shm_off.begin(), shm_off.begin() + static_cast<long>(m),
+              shm_cur.begin());
+    for (graph::CommId i = 0; i < n; ++i) {
+      const auto& c = active.comm(i);
+      if (intra[static_cast<size_t>(i)]) {
+        shm_members[static_cast<size_t>(shm_cur[node_idx(c.src)]++)] = i;
+      } else {
+        tx_members[static_cast<size_t>(tx_cur[node_idx(c.src)]++)] = i;
+        rx_members[static_cast<size_t>(rx_cur[node_idx(c.dst)]++)] = i;
+      }
+    }
+  }
+  const auto tx_bucket = [&](size_t k) {
+    return std::span<const FlowIndex>(
+        tx_members.data() + tx_off[k], static_cast<size_t>(tx_n[k]));
+  };
+  const auto rx_bucket = [&](size_t k) {
+    return std::span<const FlowIndex>(
+        rx_members.data() + rx_off[k], static_cast<size_t>(rx_n[k]));
+  };
+
+  // Host duplex saturation (see build_problem for the modelling rationale).
+  auto sat = scratch.make_span_uninit<char>(m);
+  for (size_t k = 0; k < m; ++k)
+    sat[k] = (tx_n[k] >= 1 && rx_n[k] >= 1 && tx_n[k] + rx_n[k] >= 4) ? 1 : 0;
+
+  // RX weighting at duplex-saturated hosts.
+  for (size_t k = 0; k < m; ++k) {
+    if (!(rx_n[k] > 0 && sat[k])) continue;
+    for (const FlowIndex f : rx_bucket(k))
+      weights[static_cast<size_t>(f)] = cal_.rx_bus_weight;
+  }
+
+  // Fat-tree inner links: (link, comm) pairs collected in comm order, then
+  // sorted by (link, comm) — groups come out in ascending link id with
+  // members in comm order, matching the std::map<LinkId, vector> ordering.
+  struct LinkUse {
+    topo::LinkId link;
+    graph::CommId comm;
+    bool operator<(const LinkUse& o) const {
+      return link != o.link ? link < o.link : comm < o.comm;
+    }
+  };
+  std::span<LinkUse> link_uses;
+  size_t n_link_groups = 0;
+  if (topology_) {
+    auto pairs =
+        scratch.make_span_uninit<LinkUse>(2 * static_cast<size_t>(n));
+    size_t np = 0;
+    for (graph::CommId i = 0; i < n; ++i) {
+      if (intra[static_cast<size_t>(i)]) continue;
+      const auto& c = active.comm(i);
+      topo::LinkId inner[2];
+      const int cnt = topology_->inner_links(c.src, c.dst, inner);
+      for (int j = 0; j < cnt; ++j) pairs[np++] = {inner[j], i};
+    }
+    std::sort(pairs.begin(), pairs.begin() + np);
+    link_uses = pairs.first(np);
+    for (size_t p = 0; p < np; ++p)
+      if (p == 0 || link_uses[p].link != link_uses[p - 1].link)
+        ++n_link_groups;
+  }
+
+  // Resource table, in build_problem order: host TX per node, host RX per
+  // node, duplex bus at saturated nodes, shm engine per node, inner links.
+  size_t n_res = n_link_groups;
+  size_t dup_total = 0;
+  for (size_t k = 0; k < m; ++k) {
+    if (tx_n[k] > 0) ++n_res;
+    if (rx_n[k] > 0) ++n_res;
+    if (tx_n[k] > 0 && sat[k]) {
+      ++n_res;
+      dup_total += static_cast<size_t>(tx_n[k] + rx_n[k]);
+    }
+    if (shm_n[k] > 0) ++n_res;
+  }
+  auto resources = scratch.make_span<ResourceView>(n_res);
+  auto dup_buf = scratch.make_span_uninit<FlowIndex>(dup_total);
+  size_t res_at = 0;
+  size_t dup_at = 0;
+  for (size_t k = 0; k < m; ++k)
+    if (tx_n[k] > 0) resources[res_at++] = {link, tx_bucket(k)};
+  for (size_t k = 0; k < m; ++k)
+    if (rx_n[k] > 0) resources[res_at++] = {link, rx_bucket(k)};
+  for (size_t k = 0; k < m; ++k) {
+    if (!(tx_n[k] > 0 && sat[k])) continue;
+    FlowIndex* const base = dup_buf.data() + dup_at;
+    for (const FlowIndex f : tx_bucket(k)) dup_buf[dup_at++] = f;
+    for (const FlowIndex f : rx_bucket(k)) dup_buf[dup_at++] = f;
+    resources[res_at++] = {
+        link * cal_.host_duplex_factor,
+        std::span<const FlowIndex>(
+            base, static_cast<size_t>(tx_n[k] + rx_n[k]))};
+  }
+  for (size_t k = 0; k < m; ++k)
+    if (shm_n[k] > 0)
+      resources[res_at++] = {
+          cal_.shm_bandwidth,
+          std::span<const FlowIndex>(
+              shm_members.data() + shm_off[k], static_cast<size_t>(shm_n[k]))};
+  for (size_t p = 0; p < link_uses.size();) {
+    const topo::LinkId l = link_uses[p].link;
+    size_t q = p;
+    while (q < link_uses.size() && link_uses[q].link == l) ++q;
+    // The pair run is strided (link, comm) — compact the comms into a
+    // contiguous member span.
+    auto members = scratch.make_span_uninit<FlowIndex>(q - p);
+    for (size_t r = p; r < q; ++r) members[r - p] = link_uses[r].comm;
+    resources[res_at++] = {topology_->link(l).capacity, members};
+    p = q;
+  }
+  BWS_ASSERT(res_at == n_res, "resource table fill mismatch");
+
+  AllocationProblemView view;
+  view.num_flows = n;
+  view.weights = weights;
+  view.caps = caps;
+  view.resources = resources;
+  max_min_rates_into(view, scratch, out);
 }
 
 std::vector<int> FluidRateProvider::coupling_keys(topo::NodeId src,
@@ -248,7 +531,12 @@ std::vector<double> measure_scheme(const graph::CommGraph& graph,
     for (graph::CommId i = 0; i < n; ++i) {
       if (done[static_cast<size_t>(i)]) continue;
       const auto& c = graph.comm(i);
-      active.add(c.label, c.src, c.dst, remaining[static_cast<size_t>(i)]);
+      const std::string_view lbl = graph.label(i);
+      if (lbl.empty())
+        active.add(c.src, c.dst, remaining[static_cast<size_t>(i)]);
+      else
+        active.add(std::string(lbl), c.src, c.dst,
+                   remaining[static_cast<size_t>(i)]);
       index.push_back(i);
     }
     const auto rates = provider.rates(active);

@@ -21,6 +21,7 @@
 #include "graph/comm_graph.hpp"
 #include "topo/fattree.hpp"
 #include "topo/network.hpp"
+#include "util/arena.hpp"
 
 namespace bwshare::flowsim {
 
@@ -44,6 +45,18 @@ class RateProvider {
   virtual ~RateProvider() = default;
   [[nodiscard]] virtual std::vector<double> rates(
       const graph::CommGraph& active) const = 0;
+
+  /// Allocation-free entry point for the engine's steady state: rates for the
+  /// whole of `active`, written into `out` (size == active.size()), with all
+  /// transient solver state drawn from `scratch` (typically the calling
+  /// thread's util::Arena::thread_local_instance()). Bit-identical to
+  /// rates(active). The base default forwards to rates(active) and copies —
+  /// correct for any provider, but it allocates; providers on the hot path
+  /// override it (FluidRateProvider builds the max-min problem entirely in
+  /// the arena). The reentrancy contract above applies unchanged: the arena
+  /// is caller-owned per-thread state, not provider state.
+  virtual void rates_into(const graph::CommGraph& active, util::Arena& scratch,
+                          std::span<double> out) const;
 
   /// Component-restricted entry point: rates for `subset` only (returned in
   /// subset order), always equal to the corresponding entries of
@@ -91,6 +104,15 @@ class FluidRateProvider final : public RateProvider {
 
   [[nodiscard]] std::vector<double> rates(
       const graph::CommGraph& active) const override;
+
+  /// Arena-backed full-graph solve: the incidence buckets, member lists,
+  /// weights/caps and the max-min solver's own scratch all live in `scratch`;
+  /// after arena warm-up a call makes zero global allocations (the vector
+  /// rates() overloads are wrappers over this). Resource construction order
+  /// replicates build_problem() exactly (ascending node id, then ascending
+  /// inner-link id), so results are bitwise equal to the vector path.
+  void rates_into(const graph::CommGraph& active, util::Arena& scratch,
+                  std::span<double> out) const override;
 
   /// Solves the induced subproblem of `subset`'s coupling closure and
   /// projects back. With an attached fat-tree topology the closure also

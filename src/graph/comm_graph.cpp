@@ -18,21 +18,41 @@ CommId CommGraph::add(std::string label, topo::NodeId src, topo::NodeId dst,
   // rebuild quadratic.
   BWS_CHECK(by_label_.emplace(label, id).second,
             "duplicate communication label '" + label + "'");
-  comms_.push_back(Comm{std::move(label), src, dst, bytes});
+  // Backfill ""s if unlabelled comms came first, so labels_ stays parallel.
+  labels_.resize(static_cast<size_t>(id));
+  labels_.push_back(std::move(label));
+  comms_.push_back(Comm{src, dst, bytes});
   num_nodes_ = std::max(num_nodes_, std::max(src, dst) + 1);
   return id;
 }
 
-const Comm& CommGraph::comm(CommId id) const {
+CommId CommGraph::add(topo::NodeId src, topo::NodeId dst, double bytes) {
+  BWS_CHECK(src >= 0 && dst >= 0, "node ids must be non-negative");
+  BWS_CHECK(bytes >= 0.0, "message size must be non-negative");
+  const CommId id = static_cast<CommId>(comms_.size());
+  comms_.push_back(Comm{src, dst, bytes});
+  num_nodes_ = std::max(num_nodes_, std::max(src, dst) + 1);
+  return id;
+}
+
+std::string_view CommGraph::label(CommId id) const {
   BWS_CHECK(id >= 0 && id < size(),
             strformat("comm id %d out of range [0,%d)", id, size()));
-  return comms_[static_cast<size_t>(id)];
+  if (static_cast<size_t>(id) >= labels_.size()) return {};
+  return labels_[static_cast<size_t>(id)];
 }
 
 std::optional<CommId> CommGraph::find(const std::string& label) const {
   const auto it = by_label_.find(label);
   if (it == by_label_.end()) return std::nullopt;
   return it->second;
+}
+
+void CommGraph::clear() {
+  comms_.clear();
+  labels_.clear();
+  by_label_.clear();
+  num_nodes_ = 0;
 }
 
 int CommGraph::out_degree(topo::NodeId v) const {
@@ -89,9 +109,14 @@ bool CommGraph::is_intra_node(CommId id) const {
 CommGraph induced_subgraph(const CommGraph& graph,
                            std::span<const CommId> ids) {
   CommGraph sub;
+  sub.reserve(static_cast<int>(ids.size()));
   for (const CommId id : ids) {
     const Comm& c = graph.comm(id);
-    sub.add(c.label, c.src, c.dst, c.bytes);
+    const std::string_view lbl = graph.label(id);
+    if (lbl.empty())
+      sub.add(c.src, c.dst, c.bytes);
+    else
+      sub.add(std::string(lbl), c.src, c.dst, c.bytes);
   }
   return sub;
 }

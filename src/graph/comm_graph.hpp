@@ -9,18 +9,23 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "topo/cluster.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace bwshare::graph {
 
 using CommId = int;
 
 /// One point-to-point communication: an arc src -> dst carrying `bytes`.
+/// The comm id *is* the identity on the hot path; human-readable labels are
+/// interned at parse time and kept in side storage (CommGraph::label()) for
+/// DOT output, rendering and error paths.
 struct Comm {
-  std::string label;      // "a", "b", ... as in the paper's figures
   topo::NodeId src = 0;
   topo::NodeId dst = 0;
   double bytes = 0.0;
@@ -30,18 +35,41 @@ class CommGraph {
  public:
   CommGraph() = default;
 
-  /// Add a communication; label must be unique and src != dst for network
-  /// communications (intra-node arcs are allowed but flagged).
+  /// Add a labelled communication (the parse-time path); label must be
+  /// unique and src != dst for network communications (intra-node arcs are
+  /// allowed but flagged). The label is interned: stored once, indexed for
+  /// find(), and never consulted again on the solving path.
   CommId add(std::string label, topo::NodeId src, topo::NodeId dst,
              double bytes);
 
+  /// Add an unlabelled communication — the allocation-free hot path used by
+  /// the simulator's per-component scratch graphs. No string storage, no
+  /// label-index update; label() returns "" for such comms.
+  CommId add(topo::NodeId src, topo::NodeId dst, double bytes);
+
   [[nodiscard]] int size() const { return static_cast<int>(comms_.size()); }
   [[nodiscard]] bool empty() const { return comms_.empty(); }
-  [[nodiscard]] const Comm& comm(CommId id) const;
+  // Inline: the rate solvers read every comm of the active graph per solve.
+  [[nodiscard]] const Comm& comm(CommId id) const {
+    BWS_CHECK(id >= 0 && id < size(),
+              strformat("comm id %d out of range [0,%d)", id, size()));
+    return comms_[static_cast<size_t>(id)];
+  }
   [[nodiscard]] const std::vector<Comm>& comms() const { return comms_; }
+
+  /// Human-readable label of a communication; empty for comms added via the
+  /// unlabelled overload.
+  [[nodiscard]] std::string_view label(CommId id) const;
 
   /// Find a communication by its label.
   [[nodiscard]] std::optional<CommId> find(const std::string& label) const;
+
+  /// Drop all communications but keep allocated capacity — scratch graphs
+  /// rebuilt per component solve reuse their storage across flushes.
+  void clear();
+
+  /// Pre-size comm storage (capacity is retained by clear()).
+  void reserve(int n) { comms_.reserve(static_cast<size_t>(n)); }
 
   /// Largest node id referenced plus one.
   [[nodiscard]] int num_nodes() const { return num_nodes_; }
@@ -68,6 +96,9 @@ class CommGraph {
 
  private:
   std::vector<Comm> comms_;
+  // Interned labels, parallel to comms_ but only as long as the last
+  // labelled add — unlabelled comms past the end implicitly have "".
+  std::vector<std::string> labels_;
   std::unordered_map<std::string, CommId> by_label_;  // find()/dup check
   int num_nodes_ = 0;
 };

@@ -11,9 +11,11 @@ std::string to_dot(const CommGraph& graph,
   os << "  rankdir=TB;\n  node [shape=circle];\n";
   for (topo::NodeId v = 0; v < graph.num_nodes(); ++v)
     os << "  n" << v << " [label=\"" << v << "\"];\n";
-  for (const auto& c : graph.comms()) {
-    os << "  n" << c.src << " -> n" << c.dst << " [label=\"" << c.label;
-    const auto it = annotations.find(c.label);
+  for (CommId i = 0; i < graph.size(); ++i) {
+    const auto& c = graph.comm(i);
+    const std::string label(graph.label(i));
+    os << "  n" << c.src << " -> n" << c.dst << " [label=\"" << label;
+    const auto it = annotations.find(label);
     if (it != annotations.end()) os << "\\n" << it->second;
     os << "\"];\n";
   }

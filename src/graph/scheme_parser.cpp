@@ -153,9 +153,10 @@ std::string to_scheme_text(const CommGraph& graph, const std::string& name) {
   std::ostringstream os;
   if (!name.empty()) os << "scheme \"" << name << "\"\n";
   os << "nodes " << graph.num_nodes() << "\n";
-  for (const auto& c : graph.comms()) {
-    os << "comm " << c.label << " " << c.src << " -> " << c.dst << " size "
-       << strformat("%.0f", c.bytes) << "\n";
+  for (CommId i = 0; i < graph.size(); ++i) {
+    const auto& c = graph.comm(i);
+    os << "comm " << graph.label(i) << " " << c.src << " -> " << c.dst
+       << " size " << strformat("%.0f", c.bytes) << "\n";
   }
   return os.str();
 }

@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <memory>
-#include <set>
-#include <unordered_map>
+#include <span>
+#include <type_traits>
 
 #include "core/clock.hpp"
 #include "core/event_queue.hpp"
 #include "sim/solve_memo.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
@@ -99,6 +99,13 @@ struct PendingRecv {
 /// One in-flight transfer, stored in a stable slot. `remaining` is only
 /// valid as of `advance_time` — bytes are integrated lazily, when the
 /// transfer's component is next touched (docs/PERFORMANCE.md).
+///
+/// Deliberately trivially copyable: slots are recycled with a plain
+/// assignment and completion snapshots the struct by value, so any owning
+/// member here would put an allocation on the per-event path. The provider
+/// coupling keys (the one variable-length attribute) live in the engine's
+/// parallel `slot_keys_` side storage, whose vectors keep their capacity
+/// across slot reuse.
 struct Transfer {
   size_t record = 0;
   TaskId src = 0;
@@ -119,20 +126,44 @@ struct Transfer {
   /// component dissolve/regroup — only a re-solve that changes finish_pred
   /// re-keys it, and only completion erases it.
   core::EventHandle qh = core::kNullEventHandle;
-  std::vector<int> keys;  // provider coupling keys (e.g. fat-tree links)
 };
+static_assert(std::is_trivially_copyable_v<Transfer>,
+              "Transfer is snapshotted by value on the hot path");
+
+/// Per-thread solve scratch: the component's induced communication graph
+/// plus the memo path's rate buffers. One instance per thread (pool workers
+/// included) so parallel component solves never share or allocate — the
+/// graph and vectors keep their capacity across solves.
+struct SolveScratch {
+  graph::CommGraph sub;
+  std::vector<double> memo_rates;
+  std::vector<double> memo_verify;
+};
+
+SolveScratch& solve_scratch() {
+  thread_local SolveScratch scratch;
+  return scratch;
+}
 
 /// A connected component of the coupling structure over active transfers:
 /// two transfers belong together iff they share an endpoint node or a
 /// provider coupling key (transitively). `nodes`/`keys` record the
-/// ownership entries this component asserted, so freeing it can erase
-/// exactly those map entries.
+/// ownership entries this component asserted, so freeing it can clear
+/// exactly those slots of the flat owner arrays. Component objects are
+/// pooled (free_components_) with their vectors' capacity retained, so
+/// dissolve/regroup cycles stop allocating once warmed.
 struct Component {
   std::vector<size_t> members;  // alive transfer slots
   std::vector<topo::NodeId> nodes;
   std::vector<int> keys;
   bool alive = false;
   bool dirty = false;
+  /// A member was removed since the component was last clean. Only a
+  /// shrunken component can split, so only these need the dissolve/regroup
+  /// pass at the next flush; a component that merely grew keeps its grouping
+  /// (attach_transfer materialized any merges eagerly) and just has its
+  /// members' byte counts advanced — the same instant a dissolve would have.
+  bool shrunk = false;
 };
 
 /// One scripted scenario event, merged from Scenario::churn and
@@ -172,8 +203,19 @@ class Engine {
     result_.tasks.assign(static_cast<size_t>(n), TaskStats{});
     pending_sends_.resize(static_cast<size_t>(n));
     pending_recvs_.resize(static_cast<size_t>(n));
+    // A first unmatched post would otherwise buy each queue's capacity-1
+    // buffer mid-replay — a first-touch allocation tail that trickles on for
+    // as long as fresh (task, direction) pairs keep appearing. Paying all of
+    // them here keeps the steady-state loop allocation-free.
+    for (auto& q : pending_sends_) q.reserve(1);
+    for (auto& q : pending_recvs_) q.reserve(1);
     outstanding_requests_.assign(static_cast<size_t>(n), 0);
+    // One record per send is known up front; background flows may push a few
+    // more, but reserving the floor keeps the replay free of the geometric
+    // regrowth memcpy over what is by far the engine's largest result array.
+    result_.comms.reserve(trace_.total_sends());
 
+    node_owner_.assign(static_cast<size_t>(cluster_.num_nodes()), -1);
     node_up_.assign(static_cast<size_t>(cluster_.num_nodes()), true);
     for (const int v : scenario.down_at_start)
       node_up_[static_cast<size_t>(v)] = false;
@@ -463,10 +505,21 @@ class Engine {
       free_slots_.pop_back();
     } else {
       transfers_.emplace_back();
+      slot_keys_.emplace_back();
       slot = transfers_.size() - 1;
     }
     transfers_[slot] = Transfer{};
+    slot_keys_[slot].clear();  // keeps capacity for the next key set
     return slot;
+  }
+
+  /// Fetch the provider's coupling keys for a fresh transfer into its slot's
+  /// side storage. Providers without extra coupling return an empty vector
+  /// (no allocation); with coupling the capacity retained in slot_keys_ is
+  /// replaced by the returned vector's.
+  void set_slot_keys(size_t slot) {
+    const Transfer& tr = transfers_[slot];
+    slot_keys_[slot] = provider_.coupling_keys(tr.src_node, tr.dst_node);
   }
 
   void start_transfer(const PendingSend& ps, TaskId dst,
@@ -484,7 +537,7 @@ class Engine {
     tr.src_tracked = ps.tracked;
     tr.dst_nonblocking = dst_nonblocking;
     tr.alive = true;
-    tr.keys = provider_.coupling_keys(tr.src_node, tr.dst_node);
+    set_slot_keys(slot);
     // The finish-time index entry lives as long as the transfer does; the
     // refresh below re-keys it to the first real prediction.
     if (cfg_.queue == QueueMode::kHeap)
@@ -622,7 +675,7 @@ class Engine {
     tr.remaining = std::max(ev.bytes, 1.0);
     tr.advance_time = now();
     tr.alive = true;
-    tr.keys = provider_.coupling_keys(tr.src_node, tr.dst_node);
+    set_slot_keys(slot);
     if (cfg_.queue == QueueMode::kHeap)
       tr.qh = transfer_q_.push(kInf, static_cast<uint64_t>(tr.record), slot);
     ++num_active_;
@@ -644,6 +697,7 @@ class Engine {
     auto& comp = components_[static_cast<size_t>(c)];
     comp.alive = true;
     comp.dirty = false;
+    comp.shrunk = false;
     comp.members.clear();
     comp.nodes.clear();
     comp.keys.clear();
@@ -658,20 +712,21 @@ class Engine {
     }
   }
 
-  /// Release a component id, erasing exactly the ownership entries it still
-  /// holds (entries taken over by a merge point elsewhere and are left).
+  /// Release a component id, clearing exactly the ownership slots it still
+  /// holds (slots taken over by a merge point elsewhere and are left).
   void free_component(int c) {
     auto& comp = components_[static_cast<size_t>(c)];
     for (const topo::NodeId nd : comp.nodes) {
-      const auto it = node_owner_.find(nd);
-      if (it != node_owner_.end() && it->second == c) node_owner_.erase(it);
+      auto& owner = node_owner_[static_cast<size_t>(nd)];
+      if (owner == c) owner = -1;
     }
     for (const int k : comp.keys) {
-      const auto it = key_owner_.find(k);
-      if (it != key_owner_.end() && it->second == c) key_owner_.erase(it);
+      auto& owner = key_owner_[static_cast<size_t>(k)];
+      if (owner == c) owner = -1;
     }
     comp.alive = false;
     comp.dirty = false;
+    comp.shrunk = false;
     comp.members.clear();
     comp.nodes.clear();
     comp.keys.clear();
@@ -681,18 +736,21 @@ class Engine {
   void merge_into(int target, int victim) {
     auto& t = components_[static_cast<size_t>(target)];
     auto& v = components_[static_cast<size_t>(victim)];
+    // A shrunken victim may be splittable; the union inherits that doubt.
+    if (v.shrunk) t.shrunk = true;
     for (const size_t s : v.members) transfers_[s].component = target;
     t.members.insert(t.members.end(), v.members.begin(), v.members.end());
     for (const topo::NodeId nd : v.nodes) {
-      node_owner_[nd] = target;
+      node_owner_[static_cast<size_t>(nd)] = target;
       t.nodes.push_back(nd);
     }
     for (const int k : v.keys) {
-      key_owner_[k] = target;
+      key_owner_[static_cast<size_t>(k)] = target;
       t.keys.push_back(k);
     }
     v.alive = false;
     v.dirty = false;
+    v.shrunk = false;
     v.members.clear();
     v.nodes.clear();
     v.keys.clear();
@@ -716,25 +774,34 @@ class Engine {
         std::swap(target, c);
       merge_into(target, c);
     };
-    if (const auto it = node_owner_.find(tr.src_node); it != node_owner_.end())
-      fold(it->second);
-    if (const auto it = node_owner_.find(tr.dst_node); it != node_owner_.end())
-      fold(it->second);
-    for (const int k : tr.keys)
-      if (const auto it = key_owner_.find(k); it != key_owner_.end())
-        fold(it->second);
+    const auto key_owner = [&](int k) {
+      return static_cast<size_t>(k) < key_owner_.size()
+                 ? key_owner_[static_cast<size_t>(k)]
+                 : -1;
+    };
+    if (const int c = node_owner_[static_cast<size_t>(tr.src_node)]; c != -1)
+      fold(c);
+    if (const int c = node_owner_[static_cast<size_t>(tr.dst_node)]; c != -1)
+      fold(c);
+    const std::vector<int>& keys = slot_keys_[slot];
+    for (const int k : keys)
+      if (const int c = key_owner(k); c != -1) fold(c);
     if (target == -1) target = new_component();
     tr.component = target;
     auto& comp = components_[static_cast<size_t>(target)];
     comp.members.push_back(slot);
-    node_owner_[tr.src_node] = target;
+    node_owner_[static_cast<size_t>(tr.src_node)] = target;
     comp.nodes.push_back(tr.src_node);
     if (tr.dst_node != tr.src_node) {
-      node_owner_[tr.dst_node] = target;
+      node_owner_[static_cast<size_t>(tr.dst_node)] = target;
       comp.nodes.push_back(tr.dst_node);
     }
-    for (const int k : tr.keys) {
-      key_owner_[k] = target;
+    for (const int k : keys) {
+      // Key ids come from the provider and are dense but unbounded a priori;
+      // the array grows to the high-water key id and stays there.
+      if (static_cast<size_t>(k) >= key_owner_.size())
+        key_owner_.resize(static_cast<size_t>(k) + 1, -1);
+      key_owner_[static_cast<size_t>(k)] = target;
       comp.keys.push_back(k);
     }
     mark_dirty(target);
@@ -753,26 +820,39 @@ class Engine {
     }
     tr.alive = false;
     tr.component = -1;
-    tr.keys.clear();
+    slot_keys_[slot].clear();  // keeps capacity for reuse
     free_slots_.push_back(slot);
     --num_active_;
-    if (members.empty())
+    if (members.empty()) {
       free_component(c);
-    else
+    } else {
       mark_dirty(c);
+      components_[static_cast<size_t>(c)].shrunk = true;
+    }
   }
 
-  /// Dissolve every dirty component — advancing its members' byte counts to
-  /// `now()` — and regroup the released transfers from scratch. Closure
-  /// guarantees the released transfers can only regroup among themselves,
-  /// so clean components are never disturbed. Afterwards `dirty_` lists the
-  /// freshly formed components (splits materialized, flags set).
+  /// Dissolve every dirty component that lost a member — advancing its
+  /// members' byte counts to `now()` — and regroup the released transfers
+  /// from scratch. Closure guarantees the released transfers can only
+  /// regroup among themselves, so clean components are never disturbed. A
+  /// dirty component that only *grew* cannot split (and any merge it needed
+  /// was materialized eagerly by attach_transfer), so it keeps its grouping
+  /// and only has its members advanced — at the same sim time a dissolve
+  /// would have advanced them, the clock having been pinned since the
+  /// dirtying event. Afterwards `dirty_` lists every component still needing
+  /// a solve (kept and freshly formed, flags set).
   void rebuild_dirty_components() {
     if (dirty_.empty()) return;
     loose_.clear();
+    kept_.clear();
     for (const int c : dirty_) {
       auto& comp = components_[static_cast<size_t>(c)];
       if (!comp.alive || !comp.dirty) continue;
+      if (!comp.shrunk) {
+        for (const size_t s : comp.members) advance(transfers_[s]);
+        kept_.push_back(c);
+        continue;
+      }
       for (const size_t s : comp.members) {
         advance(transfers_[s]);
         transfers_[s].component = -1;
@@ -781,7 +861,7 @@ class Engine {
       comp.members.clear();
       free_component(c);
     }
-    dirty_.clear();
+    dirty_.swap(kept_);  // kept components stay queued for the solve
     for (const size_t s : loose_) attach_transfer(s);
   }
 
@@ -843,7 +923,20 @@ class Engine {
     dirty_.clear();
     if (solve_list_.empty()) return;
     std::sort(solve_list_.begin(), solve_list_.end());
-    staged_.resize(solve_list_.size());
+    // Flat staging: one shared rate buffer with per-component offsets, sized
+    // once per flush. Replaces a vector-of-vectors whose inner buffers were
+    // reallocated whenever the component mix shifted.
+    staged_off_.assign(1, 0);
+    for (const int c : solve_list_)
+      staged_off_.push_back(
+          staged_off_.back() +
+          components_[static_cast<size_t>(c)].members.size());
+    if (staged_rates_.size() < staged_off_.back())
+      staged_rates_.resize(staged_off_.back());
+    const auto staged = [&](size_t i) {
+      return std::span<double>(staged_rates_.data() + staged_off_[i],
+                               staged_off_[i + 1] - staged_off_[i]);
+    };
 
     const bool parallel =
         cfg_.solve == SolveMode::kParallel && solve_list_.size() > 1;
@@ -856,36 +949,37 @@ class Engine {
           std::min(solve_list_.size(),
                    static_cast<size_t>(pool.num_threads()) * 4);
       for (size_t chunk = 0; chunk < chunks; ++chunk) {
-        group.run([this, chunk, chunks] {
+        group.run([this, chunk, chunks, &staged] {
           for (size_t i = chunk; i < solve_list_.size(); i += chunks)
-            compute_component_rates(solve_list_[i], staged_[i]);
+            compute_component_rates(solve_list_[i], staged(i));
         });
       }
       group.wait();  // rethrows the first provider failure, if any
     } else {
       for (size_t i = 0; i < solve_list_.size(); ++i)
-        compute_component_rates(solve_list_[i], staged_[i]);
+        compute_component_rates(solve_list_[i], staged(i));
     }
 
     if (parallel && cfg_.refresh == RefreshMode::kCrossCheck) {
       // Parallel-solve oracle: every component the pool solved is re-solved
       // serially on this thread; any bit of divergence fails the replay.
-      std::vector<double> ref;
       for (size_t i = 0; i < solve_list_.size(); ++i) {
-        compute_component_rates(solve_list_[i], ref);
-        for (size_t k = 0; k < ref.size(); ++k) {
-          BWS_CHECK(staged_[i][k] == ref[k],
+        const std::span<const double> got = staged(i);
+        oracle_rates_.resize(got.size());
+        compute_component_rates(solve_list_[i], oracle_rates_);
+        for (size_t k = 0; k < got.size(); ++k) {
+          BWS_CHECK(got[k] == oracle_rates_[k],
                     strformat("parallel solve diverged from serial: "
                               "component %d member %zu rate %.17g vs %.17g "
                               "at t=%.9g",
-                              solve_list_[i], k, staged_[i][k], ref[k],
+                              solve_list_[i], k, got[k], oracle_rates_[k],
                               now()));
         }
       }
     }
 
     for (size_t i = 0; i < solve_list_.size(); ++i)
-      commit_component(solve_list_[i], staged_[i]);
+      commit_component(solve_list_[i], staged(i));
   }
 
   /// Compute phase of one component solve: build the induced communication
@@ -901,19 +995,26 @@ class Engine {
   /// stay bit-identical whatever the memo contains; a verify-mode memo
   /// proves that on every hit by re-solving anyway. Misses solve fresh and
   /// stage the solution for cross-query publication (sim/solve_memo.hpp).
-  void compute_component_rates(int c, std::vector<double>& out) const {
+  void compute_component_rates(int c, std::span<double> out) const {
     const auto& comp = components_[static_cast<size_t>(c)];
-    const auto solve_fresh = [&](std::vector<double>& rates) {
-      graph::CommGraph sub;
-      std::vector<graph::CommId> subset;
-      subset.reserve(comp.members.size());
+    BWS_ASSERT(out.size() == comp.members.size(), "rate size mismatch");
+    SolveScratch& scratch = solve_scratch();
+    const auto solve_fresh = [&](std::span<double> rates) {
+      // The induced graph and the provider's solver state are both reused
+      // per-thread scratch: the CommGraph keeps its capacity across solves
+      // (unlabeled adds — the memo key and the provider ignore labels) and
+      // the arena serves the max-min problem construction. The engine always
+      // hands the provider a whole closed component, so the full-graph entry
+      // point applies; it is bit-identical to the subset overload, which
+      // takes the covers_all shortcut to the very same code.
+      graph::CommGraph& sub = scratch.sub;
+      sub.clear();
+      sub.reserve(static_cast<int>(comp.members.size()));
       for (const size_t s : comp.members) {
         const Transfer& tr = transfers_[s];
-        sub.add(strformat("t%zu", s), tr.src_node, tr.dst_node, tr.remaining);
-        subset.push_back(static_cast<graph::CommId>(subset.size()));
+        sub.add(tr.src_node, tr.dst_node, tr.remaining);
       }
-      rates = provider_.rates(sub, subset);
-      BWS_ASSERT(rates.size() == comp.members.size(), "rate size mismatch");
+      provider_.rates_into(sub, util::Arena::thread_local_instance(), rates);
     };
     SolveMemo* const memo = cfg_.solve_memo;
     if (memo == nullptr) {
@@ -930,30 +1031,34 @@ class Engine {
     }
     const uint64_t key = h.digest();
     bool from_frozen = false;
-    if (memo->lookup(key, out, from_frozen)) {
-      BWS_CHECK(out.size() == comp.members.size(),
+    std::vector<double>& hit = scratch.memo_rates;
+    if (memo->lookup(key, hit, from_frozen)) {
+      BWS_CHECK(hit.size() == comp.members.size(),
                 "solve memo returned a rate vector of the wrong size "
                 "(key collision or a mis-salted store)");
       if (memo->verify()) {
-        std::vector<double> fresh;
+        std::vector<double>& fresh = scratch.memo_verify;
+        fresh.resize(hit.size());
         solve_fresh(fresh);
         for (size_t k = 0; k < fresh.size(); ++k) {
-          BWS_CHECK(out[k] == fresh[k],
+          BWS_CHECK(hit[k] == fresh[k],
                     strformat("solve memo hit diverged from a fresh solve: "
                               "component %d member %zu rate %.17g vs %.17g "
                               "at t=%.9g",
-                              c, k, out[k], fresh[k], now()));
+                              c, k, hit[k], fresh[k], now()));
         }
       }
+      std::copy(hit.begin(), hit.end(), out.begin());
       return;
     }
     solve_fresh(out);
-    memo->stage(key, out);
+    hit.assign(out.begin(), out.end());
+    memo->stage(key, hit);
   }
 
   /// Commit phase: write one component's staged rates back into its
   /// transfers and re-key their finish-time queue entries. Sequential only.
-  void commit_component(int c, const std::vector<double>& rates) {
+  void commit_component(int c, std::span<const double> rates) {
     const auto& comp = components_[static_cast<size_t>(c)];
     for (size_t k = 0; k < comp.members.size(); ++k) {
       BWS_CHECK(rates[k] > 0.0, "provider returned a zero rate");
@@ -992,8 +1097,7 @@ class Engine {
     graph::CommGraph active;
     for (const size_t s : slots) {
       const Transfer& tr = transfers_[s];
-      active.add(strformat("t%zu", s), tr.src_node, tr.dst_node,
-                 tr.remaining);
+      active.add(tr.src_node, tr.dst_node, tr.remaining);
     }
     return active;
   }
@@ -1019,7 +1123,7 @@ class Engine {
     }
     dirty_.clear();
     if (num_active_ == 0) return;
-    std::vector<double> rates;
+    std::vector<double>& rates = oracle_rates_;  // reused serial scratch
     for (size_t c = 0; c < components_.size(); ++c) {
       auto& comp = components_[c];
       if (!comp.alive || comp.members.empty()) continue;
@@ -1027,6 +1131,7 @@ class Engine {
                 [&](size_t a, size_t b) {
                   return transfers_[a].record < transfers_[b].record;
                 });
+      rates.resize(comp.members.size());
       compute_component_rates(static_cast<int>(c), rates);
       commit_component(static_cast<int>(c), rates);
     }
@@ -1219,29 +1324,43 @@ class Engine {
   /// position are re-queued for the next main-loop turn, exactly like the
   /// scan (which never revisits lower indices mid-sweep).
   void wake_computers_heap() {
+    // `eligible_` is a reused vector kept sorted by task id — it replaces a
+    // std::set that node-allocated on every insert. Task ids are unique here
+    // (one compute_q_ entry per computing task), so id order is total and
+    // the in-place std::sort after each drain reproduces the set's iteration
+    // order exactly; insert/erase churn is a memmove, never an allocation.
     const auto drain = [&] {
+      bool grew = false;
       while (!compute_q_.empty() &&
              compute_q_.top_time() <= now() + 1e-15) {
-        const double when = compute_q_.top_time();
-        eligible_.emplace(compute_q_.top(), when);
+        eligible_.push_back({compute_q_.top(), compute_q_.top_time()});
         compute_q_.pop();
+        grew = true;
       }
+      if (grew)
+        std::sort(eligible_.begin(), eligible_.end(),
+                  [](const Wake& a, const Wake& b) { return a.task < b.task; });
     };
     eligible_.clear();
     drain();
     TaskId last = -1;
     while (!eligible_.empty()) {
-      const auto it = eligible_.upper_bound({last, kInf});
+      const auto it = std::upper_bound(
+          eligible_.begin(), eligible_.end(), last,
+          [](TaskId id, const Wake& e) { return id < e.task; });
       if (it == eligible_.end()) break;
-      const TaskId t = it->first;
+      const TaskId t = it->task;
       eligible_.erase(it);
       last = t;
       state_[static_cast<size_t>(t)] = TaskState::kReady;
       advance_task(t);
       drain();
     }
-    for (const auto& [t, when] : eligible_)
-      compute_q_.push(when, static_cast<uint64_t>(t), t);
+    // Entries behind the sweep position (or beyond a break) are re-queued,
+    // ascending id, for the next main-loop turn — the heap's pop order is
+    // key-determined, so the push order is immaterial.
+    for (const auto& e : eligible_)
+      compute_q_.push(e.when, static_cast<uint64_t>(e.task), e.task);
     eligible_.clear();
   }
 
@@ -1290,8 +1409,12 @@ class Engine {
   std::vector<size_t> pc_;
   std::vector<double> ready_at_;
   std::vector<double> blocked_since_;
-  std::vector<std::deque<PendingSend>> pending_sends_;  // keyed by dst
-  std::vector<std::deque<PendingRecv>> pending_recvs_;  // keyed by dst
+  // Match queues, keyed by dst task. Vectors, not deques: a deque heap-
+  // allocates its node map on construction (2N of them would dominate engine
+  // setup) and churns nodes on push/pop; these queues hold a handful of
+  // entries, so an in-place erase is a short memmove and the capacity sticks.
+  std::vector<std::vector<PendingSend>> pending_sends_;
+  std::vector<std::vector<PendingRecv>> pending_recvs_;
   std::vector<int> outstanding_requests_;
 
   // Dynamic-cluster state (sim/scenario.hpp). node_up_ gates background-flow
@@ -1310,20 +1433,34 @@ class Engine {
   // wake-up time (tie: task id).
   core::EventQueue<size_t> transfer_q_;
   core::EventQueue<TaskId> compute_q_;
-  std::set<std::pair<TaskId, double>> eligible_;  // wake sweep scratch
+
+  /// One drained compute_q_ entry awaiting its wake (wake_computers_heap).
+  struct Wake {
+    TaskId task;
+    double when;
+  };
+  std::vector<Wake> eligible_;  // wake sweep scratch, sorted by task id
 
   std::vector<Transfer> transfers_;  // slot-addressed; see Transfer::alive
+  std::vector<std::vector<int>> slot_keys_;  // coupling keys, slot-parallel
   std::vector<size_t> free_slots_;
   size_t num_active_ = 0;
   std::vector<Component> components_;
   std::vector<int> free_components_;
   std::vector<int> dirty_;                        // dirty component ids
   std::vector<size_t> loose_;                     // rebuild scratch
+  std::vector<int> kept_;                         // rebuild scratch
   std::vector<int> solve_list_;                   // flush work list
-  std::vector<std::vector<double>> staged_;       // staged per-comp rates
+  std::vector<double> staged_rates_;              // staged rates, flat
+  std::vector<size_t> staged_off_;                // per-component offsets
+  std::vector<double> oracle_rates_;              // serial re-solve scratch
   std::unique_ptr<util::ThreadPool> owned_pool_;  // lazy kParallel fallback
-  std::unordered_map<topo::NodeId, int> node_owner_;
-  std::unordered_map<int, int> key_owner_;
+  // Component ownership as dense arrays: node_owner_ is sized to the cluster
+  // up front; key_owner_ grows to the high-water coupling-key id. -1 = free.
+  // Entries are erased (reset to -1) exactly once, at dissolve, so plain
+  // sentinels suffice — no epoch stamps needed.
+  std::vector<int> node_owner_;
+  std::vector<int> key_owner_;
   SimResult result_;
 };
 

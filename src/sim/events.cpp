@@ -66,18 +66,6 @@ AppTrace::AppTrace(int num_tasks) {
   programs_.resize(static_cast<size_t>(num_tasks));
 }
 
-const TaskProgram& AppTrace::program(TaskId t) const {
-  BWS_CHECK(t >= 0 && t < num_tasks(),
-            strformat("task %d out of range [0,%d)", t, num_tasks()));
-  return programs_[static_cast<size_t>(t)];
-}
-
-TaskProgram& AppTrace::program(TaskId t) {
-  BWS_CHECK(t >= 0 && t < num_tasks(),
-            strformat("task %d out of range [0,%d)", t, num_tasks()));
-  return programs_[static_cast<size_t>(t)];
-}
-
 void AppTrace::push(TaskId t, Event e) { program(t).push_back(e); }
 
 void AppTrace::push_barrier_all() {
@@ -103,6 +91,14 @@ double AppTrace::total_bytes_sent() const {
 size_t AppTrace::total_events() const {
   size_t total = 0;
   for (const auto& p : programs_) total += p.size();
+  return total;
+}
+
+size_t AppTrace::total_sends() const {
+  size_t total = 0;
+  for (const auto& p : programs_)
+    for (const auto& e : p)
+      if (e.kind == EventKind::kSend || e.kind == EventKind::kIsend) ++total;
   return total;
 }
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "graph/comm_graph.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace bwshare::sim {
 
@@ -58,8 +60,17 @@ class AppTrace {
   explicit AppTrace(int num_tasks);
 
   [[nodiscard]] int num_tasks() const { return static_cast<int>(programs_.size()); }
-  [[nodiscard]] const TaskProgram& program(TaskId t) const;
-  [[nodiscard]] TaskProgram& program(TaskId t);
+  // Inline: the engine fetches a program on every task step.
+  [[nodiscard]] const TaskProgram& program(TaskId t) const {
+    BWS_CHECK(t >= 0 && t < num_tasks(),
+              strformat("task %d out of range [0,%d)", t, num_tasks()));
+    return programs_[static_cast<size_t>(t)];
+  }
+  [[nodiscard]] TaskProgram& program(TaskId t) {
+    BWS_CHECK(t >= 0 && t < num_tasks(),
+              strformat("task %d out of range [0,%d)", t, num_tasks()));
+    return programs_[static_cast<size_t>(t)];
+  }
 
   /// Append an event to task `t`'s program.
   void push(TaskId t, Event e);
@@ -71,6 +82,10 @@ class AppTrace {
   [[nodiscard]] double total_compute_seconds() const;
   [[nodiscard]] double total_bytes_sent() const;
   [[nodiscard]] size_t total_events() const;
+
+  /// Number of kSend/kIsend events — the communication-record count a replay
+  /// of this trace produces (the engine pre-sizes its result with it).
+  [[nodiscard]] size_t total_sends() const;
 
   /// Sanity-check the trace: every send must have a matching receive
   /// (by task pair and order-insensitive multiset of sizes), barriers must

@@ -32,12 +32,6 @@ Placement::Placement(std::vector<topo::NodeId> node_of_task)
     BWS_CHECK(n >= 0, "placement references a negative node id");
 }
 
-topo::NodeId Placement::node_of(int task) const {
-  BWS_CHECK(task >= 0 && task < num_tasks(),
-            strformat("task %d out of range [0,%d)", task, num_tasks()));
-  return node_of_task_[static_cast<size_t>(task)];
-}
-
 Placement make_placement(SchedulingPolicy policy,
                          const topo::ClusterSpec& cluster, int num_tasks,
                          uint64_t seed) {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "topo/cluster.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace bwshare::sim {
 
@@ -28,7 +30,12 @@ class Placement {
   [[nodiscard]] int num_tasks() const {
     return static_cast<int>(node_of_task_.size());
   }
-  [[nodiscard]] topo::NodeId node_of(int task) const;
+  // Inline: consulted on every send posting.
+  [[nodiscard]] topo::NodeId node_of(int task) const {
+    BWS_CHECK(task >= 0 && task < num_tasks(),
+              strformat("task %d out of range [0,%d)", task, num_tasks()));
+    return node_of_task_[static_cast<size_t>(task)];
+  }
   [[nodiscard]] const std::vector<topo::NodeId>& nodes() const {
     return node_of_task_;
   }

@@ -87,4 +87,17 @@ std::vector<LinkId> FatTree::route(NodeId src, NodeId dst) const {
           host_downlink(dst)};
 }
 
+int FatTree::inner_links(NodeId src, NodeId dst, LinkId out[2]) const {
+  BWS_CHECK(src >= 0 && src < params_.num_hosts, "src host out of range");
+  BWS_CHECK(dst >= 0 && dst < params_.num_hosts, "dst host out of range");
+  if (src == dst) return 0;
+  const int se = edge_of(src);
+  const int de = edge_of(dst);
+  if (se == de) return 0;
+  const int core = core_for(se, de);
+  out[0] = edge_up(se, core);
+  out[1] = edge_down(de, core);
+  return 2;
+}
+
 }  // namespace bwshare::topo

@@ -54,6 +54,11 @@ class FatTree {
   /// src == dst yields an empty route (intra-node traffic bypasses the NIC).
   [[nodiscard]] std::vector<LinkId> route(NodeId src, NodeId dst) const;
 
+  /// Allocation-free variant for the hot path: writes the inner (non
+  /// host-adjacent) links of route(src, dst) into `out` in route order and
+  /// returns their count (0 for intra-node/same-edge pairs, 2 otherwise).
+  int inner_links(NodeId src, NodeId dst, LinkId out[2]) const;
+
   /// Edge switch a host attaches to.
   [[nodiscard]] int edge_of(NodeId h) const;
   [[nodiscard]] int num_edges() const { return num_edges_; }

@@ -1,0 +1,104 @@
+#include "util/alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+// constinit: safe to bump from allocations that run before main().
+constinit std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of alignment.
+  std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+}  // namespace
+
+namespace bwshare::util {
+
+std::uint64_t alloc_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace bwshare::util
+
+// Counting replacements for every global allocation entry point. All forms
+// funnel to malloc/free, so mixing (e.g. sized delete of a nothrow-new
+// pointer) stays consistent, and sanitizers still intercept the underlying
+// malloc.
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

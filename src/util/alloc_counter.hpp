@@ -1,0 +1,23 @@
+#pragma once
+
+// Global-allocation counter for the zero-allocation tests and the bench's
+// steady-state alloc columns.
+//
+// alloc_count() returns the number of global operator-new calls made by this
+// process so far. The counting operator new/delete replacements live in
+// alloc_counter.cpp; because bwshare_core is a static library, they are only
+// linked into binaries that reference alloc_count() — ordinary tools keep the
+// stock allocator.
+//
+// Usage: take a delta around the region of interest. The count is process-
+// wide and monotonically increasing; it is relaxed-atomic, so deltas taken on
+// one thread include allocations made by others during the window (that is
+// what the steady-state tests want: *nobody* may allocate per event).
+
+#include <cstdint>
+
+namespace bwshare::util {
+
+std::uint64_t alloc_count() noexcept;
+
+}  // namespace bwshare::util

@@ -1,9 +1,13 @@
 // Unit tests for the weighted max-min allocator.
 #include "flowsim/fluid.hpp"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "util/arena.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace bwshare::flowsim {
 namespace {
@@ -123,6 +127,73 @@ TEST(MaxMin, AllocationIsFeasibleAndMaximal) {
       if (member && load >= res.capacity * (1.0 - 1e-9)) pinned = true;
     }
     EXPECT_TRUE(pinned) << "flow " << f << " could still grow";
+  }
+}
+
+// --- the view-based hot path -----------------------------------------------
+
+// max_min_rates_into is documented bit-identical to max_min_rates: same
+// arithmetic in the same order, only the storage differs. A fuzz over random
+// problems pins that — any reordering inside the arena-backed solver that
+// changes a single ULP fails here.
+TEST(MaxMin, IntoIsBitIdenticalToVectorApiOnRandomProblems) {
+  util::Arena arena;
+  Rng rng(20260808);
+  for (int iter = 0; iter < 200; ++iter) {
+    AllocationProblem p;
+    p.num_flows = 1 + static_cast<int>(rng.below(12));
+    const bool weighted = rng.below(2) == 0;
+    for (int f = 0; f < p.num_flows; ++f) {
+      if (weighted) p.weights.push_back(1.0 + static_cast<double>(rng.below(4)));
+      // Cap every flow so problems without resources stay well-formed.
+      p.caps.push_back(10.0 + static_cast<double>(rng.below(1000)));
+    }
+    const int num_res = static_cast<int>(rng.below(6));
+    for (int r = 0; r < num_res; ++r) {
+      Resource res;
+      res.capacity = 50.0 + static_cast<double>(rng.below(500));
+      for (int f = 0; f < p.num_flows; ++f)
+        if (rng.below(2) == 0) res.members.push_back(f);
+      if (!res.members.empty()) p.resources.push_back(res);
+    }
+
+    const std::vector<double> reference = max_min_rates(p);
+
+    AllocationProblemView view;
+    view.num_flows = p.num_flows;
+    view.weights = p.weights;
+    view.caps = p.caps;
+    std::vector<ResourceView> res_views;
+    for (const Resource& res : p.resources)
+      res_views.push_back({res.capacity, res.members});
+    view.resources = res_views;
+
+    std::vector<double> out(static_cast<size_t>(p.num_flows), -1.0);
+    util::Arena::Frame frame(arena);
+    max_min_rates_into(view, arena, out);
+    ASSERT_EQ(out.size(), reference.size());
+    for (size_t f = 0; f < out.size(); ++f)
+      ASSERT_EQ(out[f], reference[f])  // bitwise, not approximate
+          << "iter " << iter << " flow " << f;
+  }
+}
+
+TEST(MaxMin, IntoValidatesLikeTheVectorApi) {
+  util::Arena arena;
+  std::vector<double> out(1);
+  {
+    // Negative capacity.
+    const std::vector<ResourceView> res = {{-1.0, {}}};
+    AllocationProblemView v;
+    v.num_flows = 1;
+    v.resources = res;
+    EXPECT_THROW(max_min_rates_into(v, arena, out), Error);
+  }
+  {
+    // Uncovered, uncapped flow.
+    AllocationProblemView v;
+    v.num_flows = 1;
+    EXPECT_THROW(max_min_rates_into(v, arena, out), Error);
   }
 }
 

@@ -2,10 +2,16 @@
 // (it replaces the physical clusters — see DESIGN.md §1).
 #include "flowsim/fluid_network.hpp"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "graph/schemes.hpp"
+#include "topo/fattree.hpp"
+#include "util/alloc_counter.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace bwshare::flowsim {
 namespace {
@@ -140,6 +146,103 @@ TEST(FluidSubstrate, BuildProblemShape) {
 TEST(FluidSubstrate, EmptyGraph) {
   const graph::CommGraph g;
   EXPECT_TRUE(measure_scheme_fluid(g, gigabit_ethernet_calibration()).empty());
+}
+
+// --- the arena-backed rates_into hot path ----------------------------------
+
+// A random graph in the regime the engine hands the provider: several
+// overlapping arcs over a small node set, so host-bus resources have
+// multi-flow member lists.
+graph::CommGraph random_graph(Rng& rng, int nodes, int comms) {
+  graph::CommGraph g;
+  for (int i = 0; i < comms; ++i) {
+    const int src = static_cast<int>(rng.below(static_cast<uint64_t>(nodes)));
+    int dst = static_cast<int>(rng.below(static_cast<uint64_t>(nodes)));
+    if (dst == src) dst = (src + 1) % nodes;
+    g.add(src, dst, 1e6 + static_cast<double>(rng.below(20000000)));
+  }
+  return g;
+}
+
+TEST(FluidSubstrate, RatesIntoIsBitIdenticalToRates) {
+  const FluidRateProvider provider(gigabit_ethernet_calibration());
+  util::Arena arena;
+  Rng rng(99);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto g = random_graph(rng, 2 + static_cast<int>(rng.below(8)),
+                                1 + static_cast<int>(rng.below(12)));
+    const std::vector<double> reference = provider.rates(g);
+    std::vector<double> out(static_cast<size_t>(g.size()), -1.0);
+    util::Arena::Frame frame(arena);
+    provider.rates_into(g, arena, out);
+    ASSERT_EQ(out.size(), reference.size());
+    for (size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], reference[i])  // bitwise, not approximate
+          << "iter " << iter << " comm " << i;
+  }
+}
+
+TEST(FluidSubstrate, RatesIntoIsBitIdenticalUnderAFatTree) {
+  // Inner links add fat-tree resources after the host buses; the arena path
+  // must replicate that construction order exactly.
+  const auto cal = gigabit_ethernet_calibration();
+  const auto cluster = topo::ClusterSpec::uniform("ft", 16, 1, cal);
+  const FluidRateProvider provider(cal,
+                                   topo::FatTree::for_cluster(cluster, 4));
+  util::Arena arena;
+  Rng rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto g = random_graph(rng, 16, 1 + static_cast<int>(rng.below(16)));
+    const std::vector<double> reference = provider.rates(g);
+    std::vector<double> out(static_cast<size_t>(g.size()), -1.0);
+    util::Arena::Frame frame(arena);
+    provider.rates_into(g, arena, out);
+    for (size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], reference[i]) << "iter " << iter << " comm " << i;
+  }
+}
+
+TEST(FluidSubstrate, RatesIntoIsAllocationFreeOnceWarm) {
+  const FluidRateProvider provider(gigabit_ethernet_calibration());
+  util::Arena arena;
+  const auto g = fig2_scheme(5);
+  std::vector<double> out(static_cast<size_t>(g.size()));
+  {
+    util::Arena::Frame frame(arena);
+    provider.rates_into(g, arena, out);  // warm-up may grow the arena
+  }
+  arena.reset();
+  const uint64_t a0 = util::alloc_count();
+  for (int rep = 0; rep < 8; ++rep) {
+    util::Arena::Frame frame(arena);
+    provider.rates_into(g, arena, out);
+  }
+  EXPECT_EQ(util::alloc_count(), a0);
+}
+
+TEST(FluidSubstrate, BaseClassRatesIntoFallbackMatchesRates) {
+  // A provider that overrides only the vector API exercises the documented
+  // base default: forward to rates() and copy. Correct, just allocating.
+  class Doubler final : public RateProvider {
+   public:
+    [[nodiscard]] std::vector<double> rates(
+        const graph::CommGraph& active) const override {
+      std::vector<double> r(static_cast<size_t>(active.size()));
+      for (graph::CommId i = 0; i < active.size(); ++i)
+        r[static_cast<size_t>(i)] = 2.0 * static_cast<double>(i + 1);
+      return r;
+    }
+  };
+  const Doubler provider;
+  util::Arena arena;
+  graph::CommGraph g;
+  g.add(0, 1, 1.0);
+  g.add(1, 2, 1.0);
+  g.add(2, 0, 1.0);
+  std::vector<double> out(3, -1.0);
+  provider.rates_into(g, arena, out);
+  const auto reference = provider.rates(g);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], reference[i]);
 }
 
 }  // namespace

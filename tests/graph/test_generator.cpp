@@ -13,7 +13,7 @@ namespace {
 void expect_identical(const CommGraph& a, const CommGraph& b) {
   ASSERT_EQ(a.size(), b.size());
   for (CommId i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a.comm(i).label, b.comm(i).label);
+    EXPECT_EQ(a.label(i), b.label(i));
     EXPECT_EQ(a.comm(i).src, b.comm(i).src);
     EXPECT_EQ(a.comm(i).dst, b.comm(i).dst);
     EXPECT_EQ(a.comm(i).bytes, b.comm(i).bytes);  // bit-exact, no tolerance

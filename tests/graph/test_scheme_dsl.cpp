@@ -99,7 +99,7 @@ comm b 2 -> 0 size 500000
   const auto reparsed = parse_scheme(text);
   ASSERT_EQ(reparsed.graph.size(), original.graph.size());
   for (CommId i = 0; i < original.graph.size(); ++i) {
-    EXPECT_EQ(reparsed.graph.comm(i).label, original.graph.comm(i).label);
+    EXPECT_EQ(reparsed.graph.label(i), original.graph.label(i));
     EXPECT_EQ(reparsed.graph.comm(i).src, original.graph.comm(i).src);
     EXPECT_EQ(reparsed.graph.comm(i).dst, original.graph.comm(i).dst);
     EXPECT_DOUBLE_EQ(reparsed.graph.comm(i).bytes,

@@ -19,7 +19,7 @@ TEST(SchemeFiles, Fig2S4MatchesBuiltin) {
   const auto builtin = schemes::fig2_scheme(4);
   ASSERT_EQ(parsed.graph.size(), builtin.size());
   for (CommId i = 0; i < builtin.size(); ++i) {
-    EXPECT_EQ(parsed.graph.comm(i).label, builtin.comm(i).label);
+    EXPECT_EQ(parsed.graph.label(i), builtin.label(i));
     EXPECT_EQ(parsed.graph.comm(i).src, builtin.comm(i).src);
     EXPECT_EQ(parsed.graph.comm(i).dst, builtin.comm(i).dst);
   }

@@ -40,7 +40,7 @@ TEST(MyrinetModel, Fig5StateSetsAreMaximalAndIndependent) {
       if (std::find(set.begin(), set.end(), c) != set.end()) continue;
       bool blocked = false;
       for (graph::CommId s : set) blocked = blocked || conflicts.conflicts(c, s);
-      EXPECT_TRUE(blocked) << "comm " << g.comm(c).label
+      EXPECT_TRUE(blocked) << "comm " << g.label(c)
                            << " could be added to a send set";
     }
   }
